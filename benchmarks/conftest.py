@@ -1,0 +1,26 @@
+"""Shared helpers for the per-figure benchmark harness.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each benchmark executes one registered experiment (a full figure/table
+regeneration), prints the paper-shaped rows, and asserts the figure's
+qualitative claims.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_report(benchmark):
+    """Benchmark one experiment by id and print its rendered table."""
+    from repro.experiments import run_experiment
+
+    def _run(experiment_id: str):
+        report = benchmark(run_experiment, experiment_id)
+        print()
+        print(report.render())
+        return report
+
+    return _run

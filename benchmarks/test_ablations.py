@@ -1,0 +1,39 @@
+"""Bench: ablation studies for the design factors DESIGN.md calls out."""
+
+
+def test_ablation_amx_vs_hbm(run_report):
+    report = run_report("ablation_amx_hbm")
+    rows = {row[0]: row for row in report.rows}
+    stock, no_amx, no_hbm = (rows["SPR (stock)"], rows["SPR -AMX"],
+                             rows["SPR -HBM"])
+    # AMX is the prefill feature: removing it inflates TTFT >3x while TPOT
+    # barely moves.
+    assert no_amx[1] > 3 * stock[1]
+    assert abs(no_amx[2] - stock[2]) / stock[2] < 0.1
+    # HBM is the decode feature: removing it inflates TPOT >2x while TTFT
+    # moves far less.
+    assert no_hbm[2] > 2 * stock[2]
+    assert no_hbm[1] / stock[1] < no_hbm[2] / stock[2]
+    # Both ablated variants still beat ICL.
+    assert no_amx[3] < rows["ICL"][3]
+    assert no_hbm[3] < rows["ICL"][3]
+
+
+def test_ablation_quantization(run_report):
+    report = run_report("ablation_quant")
+    for row in report.rows:
+        decode_gain = row[4]
+        assert decode_gain > 1.5, row
+    spilled = [row for row in report.rows if row[0] == "OPT-66B"]
+    resident = [row for row in report.rows if row[0] == "LLaMA2-13B"]
+    # DDR-spilling models gain more: quantization also fixes placement.
+    assert min(r[4] for r in spilled) > max(r[4] for r in resident)
+
+
+def test_ablation_zigzag_slope(run_report):
+    report = run_report("ablation_zigzag")
+    b1_shares = [row[1] for row in report.rows]
+    b32_shares = [row[2] for row in report.rows]
+    # Batch-1 share is slope-independent; batch-32 share falls with slope.
+    assert max(b1_shares) - min(b1_shares) < 1.0
+    assert b32_shares == sorted(b32_shares, reverse=True)

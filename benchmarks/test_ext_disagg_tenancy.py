@@ -1,0 +1,37 @@
+"""Bench: disaggregation, multi-tenancy, long-context extensions."""
+
+
+def test_ext_disagg(run_report):
+    report = run_report("ext_disagg")
+    for row in report.rows:
+        model, input_len, gpu_only, cpu_only, disagg, busy_pct, per_dollar = row
+        assert gpu_only < disagg < cpu_only     # between the two devices
+        assert busy_pct < 15.0                  # GPU mostly released
+        assert 0.6 < per_dollar < 1.2           # per-dollar roughly a wash
+
+
+def test_ext_tenancy(run_report):
+    report = run_report("ext_tenancy")
+    rows = {row[0]: row for row in report.rows}
+    assert rows[1][3] == 1.0
+    # Slowdowns grow with tenants; prefill gentler than decode.
+    for n in (2, 4, 8):
+        assert rows[n][1] < rows[n][2]
+        assert rows[n][3] > rows[n // 2][3] if n > 2 else True
+    # Aggregate throughput roughly conserved (bandwidth already saturated).
+    for n in (2, 4, 8):
+        assert 0.8 < rows[n][4] <= 1.05
+
+
+def test_ext_longcontext(run_report):
+    report = run_report("ext_longcontext")
+    llama = {row[1]: row for row in report.rows if row[0] == "LLaMA2-70B"}
+    opt = {row[1]: row for row in report.rows if row[0] == "OPT-66B"}
+    # GQA KV is far smaller at equal context.
+    assert llama[8192][3] < opt[8192][3] / 6
+    # TPOT grows with context for both (KV reads), faster for MHA.
+    assert opt[8192][4] > opt[2048][4]
+    assert llama[32768][4] > llama[2048][4]
+    opt_growth = opt[8192][4] / opt[2048][4]
+    llama_growth = llama[8192][4] / llama[2048][4]
+    assert opt_growth > llama_growth

@@ -1,0 +1,23 @@
+"""Bench: batch knees and future-CPU sweep."""
+
+
+def test_ext_batch_knee(run_report):
+    report = run_report("ext_batch_knee")
+    rows = {row[0]: row for row in report.rows}
+    # Asymptotes ordered by platform capability.
+    assert rows["H100-80GB"][1] > rows["SPR-Max-9468"][1] > \
+        rows["ICL-8352Y"][1]
+    # Fits are tight.
+    for row in report.rows:
+        assert row[4] < 10.0  # < 10% mean relative error
+
+
+def test_whatif_future_cpu(run_report):
+    report = run_report("whatif_future_cpu")
+    rows = {row[0]: row for row in report.rows}
+    stock = rows["1x AMX, 1x BW"][3]
+    # Compute scaling alone does nothing for batch-1 E2E (decode-bound).
+    assert rows["4x AMX, 1x BW"][3] == stock
+    # Bandwidth scaling closes most of the gap.
+    assert rows["1x AMX, 3x BW"][3] < stock / 2
+    assert rows["1x AMX, 3x BW"][3] < 1.3  # near H100 parity

@@ -1,0 +1,37 @@
+"""Bench: fused attention, prefix caching, quantization matrix."""
+
+
+def test_ablation_fused_attention(run_report):
+    report = run_report("ablation_fused_attention")
+    speedups = {row[0]: row[3] for row in report.rows}
+    # Gain grows with prompt length; negligible at 128.
+    assert speedups[128] < 1.05
+    assert speedups[4096] > speedups[1024] > speedups[128]
+    assert speedups[4096] > 1.1
+
+
+def test_ext_prefix_cache(run_report):
+    report = run_report("ext_prefix_cache")
+    for row in report.rows:
+        prefix, unique, cold, warm, speedup, amortized, break_even = row
+        assert warm < cold
+        assert warm < amortized < cold
+        assert break_even < 4.0
+    # Speedup grows with the shared-prefix share of the prompt.
+    speedups = [row[4] for row in report.rows]
+    assert speedups == sorted(speedups)
+
+
+def test_ext_quant_matrix(run_report):
+    report = run_report("ext_quant_matrix")
+    def gain(model, context, scheme):
+        return next(row[5] for row in report.rows
+                    if row[0] == model and row[1] == context
+                    and row[2] == scheme)
+    # W4 beats W8 everywhere (bytes rule decode).
+    assert gain("LLaMA2-13B", 128, "w4") > gain("LLaMA2-13B", 128, "w8")
+    assert gain("OPT-66B", 128, "w4") > gain("OPT-66B", 128, "w8")
+    # KV8 helps at long context, is noise at short context.
+    long_delta = gain("OPT-66B", 2048, "w8+kv8") - gain("OPT-66B", 2048, "w8")
+    short_delta = gain("OPT-66B", 128, "w8+kv8") - gain("OPT-66B", 128, "w8")
+    assert long_delta > short_delta

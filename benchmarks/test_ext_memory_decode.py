@@ -1,0 +1,39 @@
+"""Bench: paged-KV, speculative-decoding, and energy extensions."""
+
+
+def test_ext_paged_kv(run_report):
+    report = run_report("ext_paged_kv")
+    for row in report.rows:
+        prompt, max_seq, reserved, paged, gain, r_util, p_util = row
+        assert paged >= reserved
+        assert p_util > r_util
+    # Short prompts against long reservations: order-of-magnitude gains.
+    short = report.rows[0]
+    assert short[4] > 10.0
+
+
+def test_ext_specdecode(run_report):
+    report = run_report("ext_specdecode")
+    assert all(row[4] > 1.0 for row in report.rows)
+    # Bigger targets amortize more weight traffic per verified token.
+    def best_speedup(model):
+        return max(row[4] for row in report.rows if row[0] == model)
+    assert best_speedup("OPT-66B") > best_speedup("OPT-13B")
+
+
+def test_whatif_energy(run_report):
+    report = run_report("whatif_energy")
+    def cell(model, platform):
+        return next(row for row in report.rows
+                    if row[0] == model and row[1] == platform)
+    # In-memory OPT-13B: GPU more energy-efficient than the CPU.
+    assert cell("OPT-13B", "H100-80GB")[3] > cell("OPT-13B", "SPR-Max-9468")[3]
+    # Offloaded OPT-66B: CPU more energy-efficient than the stalled GPU.
+    assert cell("OPT-66B", "SPR-Max-9468")[3] > cell("OPT-66B", "H100-80GB")[3]
+
+
+def test_calibration_targets(run_report):
+    report = run_report("calibration")
+    verdicts = [row[5] for row in report.rows]
+    assert verdicts.count("OK") == len(verdicts)
+    assert len(report.rows) >= 16

@@ -1,0 +1,13 @@
+"""Bench: mixture-of-experts decode study."""
+
+
+def test_ext_moe(run_report):
+    report = run_report("ext_moe")
+    rows = {row[0]: row for row in report.rows}
+    # Big advantage at batch 1, near parity once every expert activates.
+    assert rows[1][4] > 2.5
+    assert rows[32][4] < 1.5
+    # Active-expert fraction saturates monotonically.
+    fractions = [row[1] for row in report.rows]
+    assert fractions == sorted(fractions)
+    assert fractions[0] == 0.25 and fractions[-1] > 0.99

@@ -1,0 +1,35 @@
+"""Bench: tensor parallelism, chunked prefill, sensitivity, advisor."""
+
+
+def test_ext_tensor_parallel(run_report):
+    report = run_report("ext_tp")
+    for row in report.rows:
+        model, batch, single, naive96, tp2, speedup = row
+        assert naive96 > single          # KF#3: naive 2-socket loses
+        assert tp2 < single              # TP: disciplined 2-socket wins
+        assert 1.5 < speedup < 2.2
+
+
+def test_ext_chunked_prefill(run_report):
+    report = run_report("ext_chunked")
+    rows = {row[0]: row for row in report.rows}
+    continuous, chunked = rows["continuous"], rows["chunked-128"]
+    assert chunked[3] < continuous[3]            # bounded worst stall
+    assert chunked[1] > 0.85 * continuous[1]     # modest throughput cost
+
+
+def test_sensitivity(run_report):
+    report = run_report("sensitivity")
+    assert all(row[3] == "holds" for row in report.rows)
+    knobs = {row[0] for row in report.rows}
+    assert knobs == {"pcie_efficiency", "spr_stream_efficiency",
+                     "zigzag_amortization_slope"}
+
+
+def test_advisor(run_report):
+    report = run_report("advisor")
+    by_scenario = {(row[0], row[2]): row[4] for row in report.rows}
+    # Small in-memory model, latency-critical -> GPU.
+    assert "H100" in by_scenario[("OPT-13B", "chatbot")]
+    # Over-capacity model -> CPU configuration.
+    assert "SPR" in by_scenario[("OPT-66B", "translation")]

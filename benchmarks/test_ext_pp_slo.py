@@ -1,0 +1,25 @@
+"""Bench: TP-vs-PP comparison and SLO capacity."""
+
+
+def test_ext_pp_vs_tp(run_report):
+    report = run_report("ext_pp_vs_tp")
+    for row in report.rows:
+        model, batch, single, tp2, pp_lat, tp_gain, pp_gain = row
+        assert tp2 < single                      # TP cuts latency
+        assert 1.5 < tp_gain < 2.2
+        assert pp_gain > 1.8                     # PP doubles throughput
+    resident = next(row for row in report.rows
+                    if row[0] == "LLaMA2-13B" and row[1] == 1)
+    # PP gives no latency gain for an HBM-resident model.
+    assert abs(resident[4] - resident[2]) / resident[2] < 0.1
+    spilled = next(row for row in report.rows if row[0] == "OPT-66B")
+    assert spilled[6] > 2.5                      # super-linear when un-spilled
+
+
+def test_ext_slo(run_report):
+    report = run_report("ext_slo")
+    rates = {row[0]: row[3] for row in report.rows}
+    # Iteration-level policies sustain strictly more load than static.
+    assert rates["continuous"] > rates["static"]
+    assert rates["chunked"] > rates["static"]
+    assert rates["continuous"] > 1.0

@@ -1,0 +1,17 @@
+"""Bench: fleet provisioning under SLOs."""
+
+
+def test_ext_provisioning(run_report):
+    report = run_report("ext_provisioning")
+    def option(model, platform):
+        return next(row for row in report.rows
+                    if row[0] == model and row[2] == platform)
+    # Small in-memory model: GPU fleet is cheapest.
+    small_gpu = option("LLaMA2-7B", "H100-80GB")
+    small_cpu = option("LLaMA2-7B", "SPR-Max-9468")
+    assert small_gpu[5] < small_cpu[5]
+    # Over-capacity model: only the CPU option is feasible at this SLO.
+    big_cpu = option("OPT-66B", "SPR-Max-9468")
+    big_gpu = option("OPT-66B", "H100-80GB")
+    assert big_cpu[4] != "-"
+    assert big_gpu[4] == "-"

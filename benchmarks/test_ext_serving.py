@@ -1,0 +1,16 @@
+"""Bench: batching-policy extension (static vs continuous)."""
+
+
+def test_ext_serving(run_report):
+    report = run_report("ext_serving")
+    for row in report.rows:
+        rate, s_thpt, c_thpt, s_ttft, c_ttft, s_p95, c_p95 = row
+        # Continuous batching wins TTFT at every load level...
+        assert c_ttft < s_ttft, row
+        assert c_p95 <= s_p95, row
+        # ...and never loses throughput.
+        assert c_thpt >= s_thpt * 0.99, row
+    # The TTFT gap widens under load (queueing compounds for static).
+    first_gap = report.rows[0][3] / report.rows[0][4]
+    last_gap = report.rows[-1][3] / report.rows[-1][4]
+    assert last_gap > first_gap

@@ -1,0 +1,14 @@
+"""Bench: Fig. 1 — GEMM throughput across platforms and matrix sizes."""
+
+
+def test_fig1_gemm_throughput(run_report):
+    report = run_report("fig1")
+    # Paper shape at large dims: H100 > A100 > SPR (AMX) >> ICL (AVX-512).
+    largest = report.rows[-1]
+    icl, spr, a100, h100 = largest[1:5]
+    assert h100 > a100 > spr > icl
+    assert spr / icl > 6.0           # AMX transforms CPU GEMM throughput
+    assert a100 / spr < 2.5          # SPR lands within GPU striking distance
+    # Small GEMMs: every platform far from peak (launch/ramp effects).
+    smallest = report.rows[0]
+    assert smallest[4] < 0.05 * largest[4]

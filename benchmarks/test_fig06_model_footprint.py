@@ -1,0 +1,14 @@
+"""Bench: Fig. 6 — FP16 model-weight footprints."""
+
+
+def test_fig6_model_footprint(run_report):
+    report = run_report("fig6")
+    by_model = {row[0]: row for row in report.rows}
+    # Paper: OPT-175B ~350 GB FP16.
+    assert abs(by_model["OPT-175B"][1] - 350) < 10
+    # Paper: LLaMA2-70B needs at least two H100s; GPT-3-class needs five.
+    assert by_model["LLaMA2-70B"][3] >= 2
+    assert by_model["OPT-175B"][3] >= 5
+    # Footprints ordered with model scale.
+    sizes = [row[1] for row in report.rows]
+    assert sizes == sorted(sizes)

@@ -1,0 +1,13 @@
+"""Bench: Fig. 7 — KV-cache footprint vs sequence length and batch."""
+
+
+def test_fig7_kv_footprint(run_report):
+    report = run_report("fig7")
+    # Linear growth in seq (rows) and batch (columns).
+    col_b1 = [row[1] for row in report.rows]
+    assert col_b1 == sorted(col_b1)
+    for row in report.rows:
+        assert abs(row[5] - 32 * row[1]) < 1e-6 * row[5]
+    # Paper's point: KV eventually exceeds the ~26 GB model size.
+    largest = report.rows[-1][5]  # seq 32768, batch 32
+    assert largest > 26.0

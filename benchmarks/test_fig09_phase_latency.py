@@ -1,0 +1,12 @@
+"""Bench: Fig. 9 — prefill/decode latency, ICL vs SPR."""
+
+
+def test_fig9_phase_latency(run_report):
+    report = run_report("fig9")
+    # SPR wins both phases in every cell.
+    assert all(row[2] < 1.0 and row[3] < 1.0 for row in report.rows)
+    # At batch >= 8, prefill gains (AMX) exceed decode gains (HBM):
+    # normalized TTFT < normalized TPOT.
+    big_batch = [row for row in report.rows if row[1] >= 8]
+    better_prefill = sum(1 for row in big_batch if row[2] < row[3])
+    assert better_prefill == len(big_batch)

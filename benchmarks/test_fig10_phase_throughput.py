@@ -1,0 +1,15 @@
+"""Bench: Fig. 10 — prefill/decode throughput gains, SPR over ICL."""
+
+
+def test_fig10_phase_throughput(run_report):
+    report = run_report("fig10")
+    prefill_gains = [row[2] for row in report.rows]
+    decode_gains = [row[3] for row in report.rows]
+    # Paper bands: prefill 6.3x-9.1x, decode 2.7x-5.5x (per-model averages;
+    # cells bracket slightly wider).
+    assert max(prefill_gains) < 11.0
+    assert min(decode_gains) > 1.8
+    # Decode gain is bandwidth-limited: never exceeds prefill's best.
+    assert max(decode_gains) < max(prefill_gains)
+    # All gains favor SPR.
+    assert min(prefill_gains) > 1.0 and min(decode_gains) > 1.0

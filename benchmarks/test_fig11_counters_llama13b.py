@@ -1,0 +1,13 @@
+"""Bench: Fig. 11 — LLaMA2-13B hardware counters vs batch on SPR."""
+
+
+def test_fig11_counters(run_report):
+    report = run_report("fig11")
+    mpki = [row[1] for row in report.rows]
+    util = [row[2] for row in report.rows]
+    ls_norm = [row[3] for row in report.rows]
+    # Paper trends: MPKI down, core utilization up, load/stores up.
+    assert mpki == sorted(mpki, reverse=True)
+    assert util == sorted(util)
+    assert ls_norm == sorted(ls_norm)
+    assert abs(ls_norm[0] - 1.0) < 1e-9  # normalized to batch 1

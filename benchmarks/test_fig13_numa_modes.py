@@ -1,0 +1,18 @@
+"""Bench: Fig. 13 — NUMA memory/clustering mode comparison."""
+
+
+def test_fig13_numa_modes(run_report):
+    report = run_report("fig13")
+    rows = {row[0]: row for row in report.rows}
+    e2e = {label: row[1] for label, row in rows.items()}
+    thpt = {label: row[4] for label, row in rows.items()}
+    # Key Finding #2: quad_flat best on latency and throughput.
+    assert min(e2e, key=e2e.get) == "quad_flat"
+    assert max(thpt, key=thpt.get) == "quad_flat"
+    # Orderings the paper reports: flat > cache, quad > snc.
+    assert e2e["quad_flat"] < e2e["quad_cache"]
+    assert e2e["snc_flat"] < e2e["snc_cache"]
+    assert e2e["quad_flat"] < e2e["snc_flat"]
+    assert e2e["quad_cache"] < e2e["snc_cache"]
+    # Baseline row normalizes to exactly 1.0.
+    assert abs(rows["quad_cache"][1] - 1.0) < 1e-9

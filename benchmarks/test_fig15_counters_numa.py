@@ -1,0 +1,12 @@
+"""Bench: Fig. 15 — counters per NUMA config (LLaMA2-13B, batch 8)."""
+
+
+def test_fig15_counters_numa(run_report):
+    report = run_report("fig15")
+    rows = {row[0]: row for row in report.rows}
+    # SNC suffers frequent remote LLC accesses; quad does not.
+    assert rows["snc_flat"][3] > 10 * rows["quad_flat"][3]
+    assert rows["snc_cache"][3] > 10 * rows["quad_cache"][3]
+    # flat slightly outperforms cache (E2E column).
+    assert rows["quad_flat"][4] < rows["quad_cache"][4]
+    assert rows["snc_flat"][4] < rows["snc_cache"][4]

@@ -1,0 +1,14 @@
+"""Bench: Fig. 16 — counters vs core count (LLaMA2-7B, batch 8)."""
+
+
+def test_fig16_counters_cores(run_report):
+    report = run_report("fig16")
+    rows = {row[0]: row for row in report.rows}
+    # UPI utilization negligible within one socket, spikes at 96 cores.
+    assert rows[12][3] < 10.0
+    assert rows[48][3] < 10.0
+    assert rows[96][3] > 30.0
+    # 96 cores slower than 48 (E2E column).
+    assert rows[96][4] > rows[48][4]
+    # Within a socket, more cores = faster.
+    assert rows[48][4] < rows[24][4] < rows[12][4]

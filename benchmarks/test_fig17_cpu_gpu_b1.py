@@ -1,0 +1,20 @@
+"""Bench: Fig. 17 — CPU vs GPU end-to-end at batch 1."""
+
+
+def test_fig17_cpu_gpu_batch1(run_report):
+    report = run_report("fig17")
+    rows = {row[0]: row for row in report.rows}
+    # Small models: GPUs faster (normalized E2E < 1 means GPU beats CPU).
+    for model in ("OPT-6.7B", "LLaMA2-7B", "OPT-13B", "LLaMA2-13B"):
+        assert rows[model][1] < 1.0, f"A100 should beat CPU on {model}"
+        assert rows[model][3] < 1.0, f"H100 should beat CPU on {model}"
+    # OPT-30B: A100 offloads and loses big (paper: 12.7x); H100 fits, wins.
+    assert rows["OPT-30B"][2] == "off"
+    assert rows["OPT-30B"][1] > 8.0
+    assert rows["OPT-30B"][4] == "fit"
+    assert rows["OPT-30B"][3] < 1.0
+    # OPT-66B / LLaMA2-70B: both GPUs offload, CPU wins (paper: ~5x on H100).
+    for model in ("OPT-66B", "LLaMA2-70B"):
+        assert rows[model][2] == "off" and rows[model][4] == "off"
+        assert rows[model][1] > 1.0 and rows[model][3] > 1.0
+    assert 3.0 < rows["OPT-66B"][3] < 7.0

@@ -1,0 +1,14 @@
+"""Bench: Fig. 20 — sequence-length sensitivity at batch 1."""
+
+
+def test_fig20_seqlen_batch1(run_report):
+    report = run_report("fig20")
+    seventy = [row for row in report.rows if row[0] == "LLaMA2-70B"]
+    # Paper: CPU wins at ALL sequence lengths for LLaMA2-70B at batch 1.
+    assert all(row[5] == "SPR" for row in seventy)
+    # GPU latency nearly flat with input length (weight streaming bound).
+    h100 = [row[4] for row in seventy]
+    assert max(h100) / min(h100) < 1.2
+    # CPU latency grows with input length (prefill compute).
+    spr = [row[2] for row in seventy]
+    assert spr == sorted(spr)

@@ -1,0 +1,17 @@
+"""Bench: Fig. 21 — sequence-length sensitivity at batch 16."""
+
+
+def test_fig21_seqlen_batch16(run_report):
+    report = run_report("fig21")
+    seventy = {row[1]: row for row in report.rows if row[0] == "LLaMA2-70B"}
+    # Paper: CPU wins at 128; H100 overtakes at >= 256; A100 never wins.
+    assert seventy[128][5] == "SPR"
+    assert seventy[256][5] == "H100"
+    assert seventy[512][5] == "H100"
+    assert seventy[1024][5] == "H100"
+    for input_len, row in seventy.items():
+        assert row[3] > row[2] or row[3] > row[4], \
+            f"A100 must not win at {input_len}"
+    # Small in-memory models: GPUs keep winning at batch 16.
+    opt13 = {row[1]: row for row in report.rows if row[0] == "OPT-13B"}
+    assert opt13[128][4] < opt13[128][2]

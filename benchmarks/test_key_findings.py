@@ -1,0 +1,7 @@
+"""Bench: the five Key Findings, end to end."""
+
+
+def test_key_findings(run_report):
+    report = run_report("findings")
+    verdicts = {row[0]: row[2] for row in report.rows}
+    assert verdicts == {f"KF#{i}": "HOLDS" for i in range(1, 6)}

@@ -1,0 +1,14 @@
+"""Bench: Section VI optimization studies."""
+
+
+def test_sec6_optimizations(run_report):
+    report = run_report("sec6")
+    kinds = [row[0] for row in report.rows]
+    assert "numa-aware snc" in kinds
+    assert "hot/cold placement" in kinds
+    assert kinds.count("hybrid cpu-gpu") == 2
+    # Every studied optimization shows a gain (the "gain" column leads
+    # with a multiplier like "1.20x ...").
+    for row in report.rows:
+        multiplier = float(row[2].split("x")[0])
+        assert multiplier > 1.0, row

@@ -1,0 +1,17 @@
+"""Bench: Tables I and II — platform configurations."""
+
+
+def test_table1_cpu_platforms(run_report):
+    report = run_report("table1")
+    names = [row[0] for row in report.rows]
+    assert names == ["ICL-8352Y", "SPR-Max-9468"]
+    # SPR row must advertise both AVX-512 and AMX engines.
+    assert "AMX" in report.rows[1][3]
+    assert "HBM" in report.rows[1][5]
+
+
+def test_table2_gpu_platforms(run_report):
+    report = run_report("table2")
+    names = [row[0] for row in report.rows]
+    assert names == ["A100-40GB", "H100-80GB"]
+    assert report.rows[0][1] == 108 and report.rows[1][1] == 132

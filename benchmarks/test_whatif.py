@@ -1,0 +1,28 @@
+"""Bench: what-if studies (GH200, cost efficiency)."""
+
+
+def test_whatif_gh200(run_report):
+    report = run_report("whatif_gh200")
+    rows = {row[0]: row for row in report.rows}
+    # NVLink beats PCIe offloading by a wide margin (paper Section V-B).
+    assert rows["GH200-96GB"][2] < rows["H100-80GB"][2] / 3
+    # GH200 beats the CPU absolutely...
+    assert rows["GH200-96GB"][2] < rows["SPR-Max-9468"][2]
+    # ...but the CPU keeps the throughput-per-dollar lead ("~4x the cost").
+    assert rows["SPR-Max-9468"][4] > rows["GH200-96GB"][4]
+
+
+def test_whatif_cost(run_report):
+    report = run_report("whatif_cost")
+    def cell(model, platform):
+        return next(row for row in report.rows
+                    if row[0] == model and row[1] == platform)
+    # Offloaded models: CPU dominates per dollar by an order of magnitude.
+    assert cell("OPT-66B", "SPR-Max-9468")[4] > \
+        5 * cell("OPT-66B", "H100-80GB")[4]
+    # In-memory OPT-13B: the GPU's absolute win compresses per dollar.
+    gpu_absolute = cell("OPT-13B", "H100-80GB")[3] / \
+        cell("OPT-13B", "SPR-Max-9468")[3]
+    gpu_per_dollar = cell("OPT-13B", "H100-80GB")[4] / \
+        cell("OPT-13B", "SPR-Max-9468")[4]
+    assert gpu_per_dollar < gpu_absolute / 2

@@ -1,0 +1,53 @@
+"""CPU-GPU hybrid execution planning (paper Section VI).
+
+For a model that exceeds GPU memory, pure offloading streams weights over
+PCIe every decode step. The paper proposes letting the CPU compute part of
+the layers. This example runs the hybrid planner for each over-capacity
+(model, GPU) pair and prints the best layer split with its projected gain.
+
+Usage::
+
+    python examples/hybrid_execution.py
+"""
+
+from repro import InferenceRequest, get_model, get_platform
+from repro.optim.hybrid import HybridPlanner
+from repro.utils.formatting import format_table
+
+CASES = [
+    ("opt-30b", "a100"),
+    ("opt-66b", "a100"),
+    ("opt-66b", "h100"),
+    ("llama2-70b", "h100"),
+]
+
+
+def main() -> None:
+    spr = get_platform("spr")
+    request = InferenceRequest(batch_size=1)
+    rows = []
+    for model_key, gpu_key in CASES:
+        model = get_model(model_key)
+        gpu = get_platform(gpu_key)
+        plan = HybridPlanner(spr, gpu).plan(model, request)
+        rows.append([
+            f"{model.name} on {gpu.name}",
+            plan.cpu_layer_fraction,
+            plan.gpu_offload_step_s * 1000,
+            plan.cpu_only_step_s * 1000,
+            plan.step_time_s * 1000,
+            plan.speedup_vs_gpu_offload,
+        ])
+    print(format_table(
+        ["scenario", "CPU layer frac", "GPU-offload ms/tok",
+         "CPU-only ms/tok", "hybrid ms/tok", "gain vs offload"],
+        rows,
+        title="Hybrid CPU-GPU execution plans (decode step, batch 1)"))
+    print()
+    print("The planner pushes most layers to the CPU when PCIe streaming")
+    print("dominates — matching the paper's Section VI observation that")
+    print("FlexGen 'typically underutilizes CPU computation resources'.")
+
+
+if __name__ == "__main__":
+    main()

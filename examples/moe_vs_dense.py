@@ -1,0 +1,50 @@
+"""Mixture-of-experts vs dense decode on the CPU.
+
+Mixtral-8x7B holds ~47B parameters but routes each token through 2 of 8
+experts. On a bandwidth-bound decode platform that is a 3-4x small-batch
+advantage over a parameter-matched dense model — which evaporates as
+batching activates every expert. This example sweeps the batch axis to
+show the crossover.
+
+Usage::
+
+    python examples/moe_vs_dense.py
+"""
+
+from repro import InferenceRequest, get_model, get_platform, simulate
+from repro.models import scale_to_params
+from repro.utils.formatting import format_table
+
+
+def main() -> None:
+    spr = get_platform("spr")
+    moe = get_model("mixtral-8x7b")
+    dense = scale_to_params(47.0, name="Dense-47B")
+
+    rows = []
+    for batch in (1, 2, 4, 8, 16, 32):
+        request = InferenceRequest(batch_size=batch)
+        moe_result = simulate(spr, moe, request)
+        dense_result = simulate(spr, dense, request)
+        rows.append([
+            batch,
+            moe.active_expert_fraction(batch),
+            moe_result.tpot_s * 1000,
+            dense_result.tpot_s * 1000,
+            dense_result.tpot_s / moe_result.tpot_s,
+        ])
+    print(format_table(
+        ["batch", "experts active", "MoE TPOT ms", "dense TPOT ms",
+         "MoE advantage"],
+        rows,
+        title=f"{moe.name} ({moe.param_count() / 1e9:.0f}B total, "
+              f"{moe.top_k}/{moe.n_experts} active) vs {dense.name} on SPR"))
+    print()
+    print("Serving implication: MoE models suit latency-sensitive,")
+    print("small-batch CPU deployments; for throughput-oriented large")
+    print("batches the sparse routing buys little, because the decode")
+    print("bottleneck is weight bytes and every expert ends up streamed.")
+
+
+if __name__ == "__main__":
+    main()

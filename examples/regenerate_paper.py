@@ -1,0 +1,42 @@
+"""Regenerate every paper table and figure and write EXPERIMENTS.md.
+
+Runs the full experiment registry (Figs. 1, 6-21, Tables I/II, Key
+Findings, Section VI) and writes both a console dump and the
+``EXPERIMENTS.md`` paper-vs-measured record.
+
+Usage::
+
+    python examples/regenerate_paper.py [output.md]
+"""
+
+import sys
+
+from repro.experiments import run_all_experiments
+
+HEADER = """# EXPERIMENTS — paper vs. measured
+
+Every table and figure of *Understanding Performance Implications of LLM
+Inference on CPUs* (IISWC 2024), regenerated on the simulator. Absolute
+times are simulated, not testbed-measured; the comparisons to check are
+the *shapes*: who wins, by what factor, and where crossovers fall. Each
+section's notes record the paper's reference numbers next to ours.
+
+Regenerate with `python examples/regenerate_paper.py`.
+"""
+
+
+def main() -> None:
+    output_path = sys.argv[1] if len(sys.argv) > 1 else "EXPERIMENTS.md"
+    reports = run_all_experiments()
+    sections = [HEADER]
+    for report in reports:
+        print(report.render())
+        print()
+        sections.append(report.to_markdown())
+    with open(output_path, "w") as handle:
+        handle.write("\n\n".join(sections) + "\n")
+    print(f"wrote {output_path} ({len(reports)} experiments)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Batching-policy comparison: static vs continuous vs chunked prefill.
+
+Extends the paper's batch-size analysis (Figs. 8-10) to the serving
+layer: same cost model, same arrivals, three scheduling disciplines from
+the systems its related work cites (FasterTransformer, Orca, Sarathi).
+
+Usage::
+
+    python examples/serving_policies.py
+"""
+
+from repro import get_model, get_platform
+from repro.serving import SLO, BatchingSimulator, attainment, poisson_arrivals
+from repro.utils.formatting import format_table
+from repro.workloads import translation_workload
+
+
+def main() -> None:
+    simulator = BatchingSimulator(get_platform("spr"),
+                                  get_model("llama2-7b"), max_batch=8)
+    arrivals = poisson_arrivals(1.5, 20, translation_workload(), seed=9)
+    slo = SLO(ttft_s=2.0, tpot_s=0.08)
+
+    rows = []
+    for label, runner in (
+            ("static", simulator.run_static),
+            ("continuous", simulator.run_continuous),
+            ("chunked-128", lambda a: simulator.run_chunked(a, 128))):
+        report = runner(arrivals)
+        rows.append([
+            label,
+            report.throughput,
+            report.mean_ttft_s,
+            report.p95_ttft_s,
+            report.max_decode_gap_s * 1000,
+            attainment(report, arrivals, slo) * 100,
+        ])
+    print(format_table(
+        ["policy", "tokens/s", "mean TTFT s", "p95 TTFT s",
+         "max token gap ms", "SLO attainment %"],
+        rows,
+        title="LLaMA2-7B on SPR, translation arrivals @1.5 req/s"))
+    print()
+    print("static batching queues requests behind whole-batch completions;")
+    print("continuous batching admits on every iteration (TTFT collapses);")
+    print("chunked prefill additionally bounds the inter-token stall that")
+    print("long admission prompts inflict on running sequences.")
+
+
+if __name__ == "__main__":
+    main()

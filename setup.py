@@ -1,0 +1,11 @@
+"""Thin setup shim.
+
+The project is configured via pyproject.toml; this file exists so that
+``pip install -e . --no-build-isolation --no-use-pep517`` works on offline
+machines lacking the ``wheel`` package (legacy editable installs go through
+``setup.py develop``, which needs only setuptools).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,15 @@
+"""Calibration-target framework: the paper anchors the model must hit."""
+
+from repro.calibration.targets import (
+    CalibrationResult,
+    CalibrationTarget,
+    all_targets,
+    check_all_targets,
+)
+
+__all__ = [
+    "CalibrationResult",
+    "CalibrationTarget",
+    "all_targets",
+    "check_all_targets",
+]

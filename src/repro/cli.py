@@ -1,0 +1,236 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro run --platform spr --model opt-13b --batch 8
+    python -m repro sweep --platforms icl,spr --models opt-13b,opt-66b
+    python -m repro experiment fig8
+    python -m repro experiment --all
+    python -m repro roofline --platform spr --model llama2-13b
+    python -m repro platforms
+    python -m repro models
+"""
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.roofline_chart import roofline_for_run
+from repro.core.runner import CharacterizationSweep, is_offloaded, run_inference
+from repro.engine.inference import EngineConfig, InferenceSimulator
+from repro.engine.request import InferenceRequest
+from repro.experiments import all_experiment_ids, run_experiment
+from repro.hardware.registry import all_platforms, get_platform
+from repro.models.registry import all_models, get_model
+from repro.numa.modes import get_config
+from repro.utils.formatting import format_table
+from repro.utils.units import bytes_to_gb
+
+
+def _engine_config(args: argparse.Namespace) -> EngineConfig:
+    numa = get_config(args.numa) if getattr(args, "numa", None) else None
+    cores = getattr(args, "cores", None)
+    return EngineConfig(cores=cores, numa=numa)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    platform = get_platform(args.platform)
+    model = get_model(args.model)
+    request = InferenceRequest(batch_size=args.batch, input_len=args.input,
+                               output_len=args.output)
+    result = run_inference(platform, model, request, _engine_config(args))
+    mode = "offload" if is_offloaded(result) else "in-memory"
+    print(format_table(
+        ["metric", "value"],
+        [["platform", platform.name],
+         ["model", model.name],
+         ["mode", mode],
+         ["TTFT ms", result.ttft_s * 1000],
+         ["TPOT ms", result.tpot_s * 1000],
+         ["E2E s", result.e2e_s],
+         ["tokens/s", result.e2e_throughput],
+         ["prefill tokens/s", result.prefill_throughput],
+         ["decode tokens/s", result.decode_throughput]],
+        title=f"{model.name} on {platform.name} "
+              f"(batch={args.batch}, {args.input}/{args.output})"))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    platforms = [get_platform(key) for key in args.platforms.split(",")]
+    models = [get_model(key) for key in args.models.split(",")]
+    batches = [int(b) for b in args.batches.split(",")]
+    sweep = CharacterizationSweep(platforms, models, batches,
+                                  input_len=args.input,
+                                  output_len=args.output,
+                                  config=_engine_config(args))
+    rows = []
+    for row in sweep.run():
+        rows.append([row.model, row.platform, row.batch_size,
+                     "off" if row.offloaded else "mem",
+                     row.metrics["e2e_s"], row.metrics["e2e_throughput"]])
+    print(format_table(
+        ["model", "platform", "batch", "mode", "E2E s", "tokens/s"], rows,
+        title="characterization sweep"))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    ids = all_experiment_ids() if args.all else [args.experiment_id]
+    if not args.all and args.experiment_id is None:
+        print("specify an experiment id or --all; known ids:\n  "
+              + " ".join(all_experiment_ids()), file=sys.stderr)
+        return 2
+    for experiment_id in ids:
+        print(run_experiment(experiment_id).render())
+        print()
+    return 0
+
+
+def _cmd_roofline(args: argparse.Namespace) -> int:
+    platform = get_platform(args.platform)
+    model = get_model(args.model)
+    request = InferenceRequest(batch_size=args.batch, input_len=args.input,
+                               output_len=args.output)
+    result = InferenceSimulator(platform, _engine_config(args)).run(
+        model, request)
+    print(roofline_for_run(platform, result.prefill, result.decode))
+    return 0
+
+
+def _cmd_advise(args: argparse.Namespace) -> int:
+    from repro.optim.advisor import DeploymentAdvisor
+
+    model = get_model(args.model)
+    request = InferenceRequest(batch_size=args.batch, input_len=args.input,
+                               output_len=args.output)
+    recommendation = DeploymentAdvisor().recommend(model, request,
+                                                   args.metric)
+    rows = [[c.label, c.metric_value] for c in recommendation.ranked[:8]]
+    print(format_table(
+        ["configuration", args.metric], rows,
+        title=f"advisor: {model.name}, batch={args.batch}, "
+              f"optimize {args.metric}"))
+    print(f"\nrecommended: {recommendation.best.label}")
+    return 0
+
+
+def _cmd_calibration(_args: argparse.Namespace) -> int:
+    from repro.calibration.targets import check_all_targets
+
+    rows = []
+    for result in check_all_targets():
+        rows.append([result.target.target_id, result.target.paper_value,
+                     result.measured,
+                     "OK" if result.in_band else "OUT"])
+    print(format_table(["target", "paper", "measured", "verdict"], rows,
+                       title="calibration targets (DESIGN.md section 5)"))
+    failures = sum(1 for row in rows if row[3] == "OUT")
+    return 1 if failures else 0
+
+
+def _cmd_platforms(_args: argparse.Namespace) -> int:
+    rows = []
+    for key, platform in all_platforms().items():
+        rows.append([
+            key, platform.name, platform.kind.value,
+            f"{bytes_to_gb(platform.memory_capacity):.0f}GB",
+            f"{bytes_to_gb(platform.peak_memory_bandwidth):.0f}GB/s",
+        ])
+    print(format_table(["key", "name", "kind", "memory", "peak BW"], rows))
+    return 0
+
+
+def _cmd_models(_args: argparse.Namespace) -> int:
+    rows = []
+    for key, model in sorted(all_models().items(),
+                             key=lambda kv: kv[1].param_count()):
+        rows.append([
+            key, model.name, model.n_layers, model.d_model,
+            f"{model.param_count() / 1e9:.1f}B",
+            "GQA" if model.uses_gqa else "MHA",
+        ])
+    print(format_table(
+        ["key", "name", "layers", "d_model", "params", "attention"], rows))
+    return 0
+
+
+def _add_request_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--batch", type=int, default=1)
+    parser.add_argument("--input", type=int, default=128)
+    parser.add_argument("--output", type=int, default=32)
+    parser.add_argument("--cores", type=int, default=None,
+                        help="CPU cores (default: one socket)")
+    parser.add_argument("--numa", default=None,
+                        help="CPU NUMA config label (default: quad_flat)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Simulate LLM inference on CPUs/GPUs (IISWC 2024 repro)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="simulate one request")
+    run_parser.add_argument("--platform", required=True)
+    run_parser.add_argument("--model", required=True)
+    _add_request_args(run_parser)
+    run_parser.set_defaults(func=_cmd_run)
+
+    sweep_parser = sub.add_parser("sweep", help="model x platform x batch grid")
+    sweep_parser.add_argument("--platforms", required=True,
+                              help="comma-separated platform keys")
+    sweep_parser.add_argument("--models", required=True,
+                              help="comma-separated model keys")
+    sweep_parser.add_argument("--batches", default="1,8,32")
+    _add_request_args(sweep_parser)
+    sweep_parser.set_defaults(func=_cmd_sweep)
+
+    experiment_parser = sub.add_parser("experiment",
+                                       help="regenerate a paper figure/table")
+    experiment_parser.add_argument("experiment_id", nargs="?")
+    experiment_parser.add_argument("--all", action="store_true")
+    experiment_parser.set_defaults(func=_cmd_experiment)
+
+    roofline_parser = sub.add_parser("roofline",
+                                     help="ASCII roofline with run phases")
+    roofline_parser.add_argument("--platform", required=True)
+    roofline_parser.add_argument("--model", required=True)
+    _add_request_args(roofline_parser)
+    roofline_parser.set_defaults(func=_cmd_roofline)
+
+    advise_parser = sub.add_parser("advise",
+                                   help="recommend a deployment config")
+    advise_parser.add_argument("--model", required=True)
+    advise_parser.add_argument("--metric", default="e2e_throughput",
+                               choices=["ttft_s", "tpot_s", "e2e_s",
+                                        "e2e_throughput"])
+    _add_request_args(advise_parser)
+    advise_parser.set_defaults(func=_cmd_advise)
+
+    sub.add_parser("calibration",
+                   help="check all paper calibration targets").set_defaults(
+        func=_cmd_calibration)
+
+    sub.add_parser("platforms", help="list platforms").set_defaults(
+        func=_cmd_platforms)
+    sub.add_parser("models", help="list models").set_defaults(
+        func=_cmd_models)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output was piped into a consumer that closed early (e.g. head);
+        # that is not an error for a CLI.
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

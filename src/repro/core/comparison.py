@@ -1,0 +1,108 @@
+"""Cross-platform/configuration comparison utilities.
+
+Most of the paper's figures are *normalized*: Fig. 8 normalizes SPR to ICL,
+Fig. 13 normalizes every configuration to quad_cache, Fig. 17/19/20/21
+normalize GPUs to the SPR CPU. These helpers pair up sweep rows by
+coordinates and produce the normalized series.
+"""
+
+import dataclasses
+from typing import Dict, List, Sequence
+
+from repro.core.metrics import (
+    ALL_METRICS,
+    latency_reduction_pct,
+    normalize_summary,
+    speedup,
+)
+from repro.core.runner import SweepRow, filter_rows
+
+
+@dataclasses.dataclass(frozen=True)
+class PairedComparison:
+    """One (model, batch) cell comparing a platform against a baseline.
+
+    Attributes:
+        model / batch_size: Cell coordinates.
+        baseline_platform / target_platform: The two platforms compared.
+        normalized: target metric / baseline metric, per metric key.
+    """
+
+    model: str
+    batch_size: int
+    baseline_platform: str
+    target_platform: str
+    normalized: Dict[str, float]
+
+    @property
+    def e2e_speedup(self) -> float:
+        """Latency speedup of target over baseline (>1 = target faster)."""
+        return 1.0 / self.normalized["e2e_s"]
+
+    @property
+    def e2e_latency_reduction_pct(self) -> float:
+        """Percent E2E latency reduction of target vs baseline."""
+        return (1.0 - self.normalized["e2e_s"]) * 100.0
+
+    @property
+    def throughput_gain(self) -> float:
+        """E2E throughput ratio target/baseline."""
+        return self.normalized["e2e_throughput"]
+
+
+def compare_platforms(rows: Sequence[SweepRow], baseline_platform: str,
+                      target_platform: str) -> List[PairedComparison]:
+    """Pair rows of two platforms on (model, batch) and normalize target."""
+    comparisons: List[PairedComparison] = []
+    baseline_rows = [r for r in rows if r.platform == baseline_platform]
+    for base in baseline_rows:
+        matches = filter_rows(rows, model=base.model,
+                              platform=target_platform,
+                              batch_size=base.batch_size)
+        if not matches:
+            continue
+        target = matches[0]
+        comparisons.append(PairedComparison(
+            model=base.model,
+            batch_size=base.batch_size,
+            baseline_platform=baseline_platform,
+            target_platform=target_platform,
+            normalized=normalize_summary(target.metrics, base.metrics),
+        ))
+    return comparisons
+
+
+def per_model_speedup_range(comparisons: Sequence[PairedComparison],
+                            metric: str = "e2e_s") -> Dict[str, float]:
+    """Average latency speedup per model across batch sizes.
+
+    Returns ``{model: mean speedup}``; used for the paper's "in the range
+    of X to Y" statements, which range over per-model averages.
+    """
+    by_model: Dict[str, List[float]] = {}
+    for comp in comparisons:
+        by_model.setdefault(comp.model, []).append(
+            1.0 / comp.normalized[metric])
+    return {model: sum(vals) / len(vals) for model, vals in by_model.items()}
+
+
+def average_normalized(comparisons: Sequence[PairedComparison]) -> Dict[str, float]:
+    """Mean normalized value per metric across all comparison cells."""
+    if not comparisons:
+        raise ValueError("no comparisons to average")
+    out: Dict[str, float] = {}
+    for key in ALL_METRICS:
+        values = [c.normalized[key] for c in comparisons if key in c.normalized]
+        if values:
+            out[key] = sum(values) / len(values)
+    return out
+
+
+__all__ = [
+    "PairedComparison",
+    "average_normalized",
+    "compare_platforms",
+    "latency_reduction_pct",
+    "per_model_speedup_range",
+    "speedup",
+]

@@ -1,0 +1,91 @@
+"""Metric definitions and aggregation helpers (Section II-C).
+
+The paper characterizes every workload with six metrics: three latencies
+(E2E, TTFT, TPOT) and three throughputs (overall, prefill, decode), all in
+tokens/second. Figures average metrics "across all evaluated LLMs and
+batch sizes" and normalize to a baseline — the helpers here implement both
+conventions.
+"""
+
+import math
+from typing import Dict, Iterable, List, Sequence
+
+#: Canonical metric keys, matching ``InferenceResult.summary()``.
+LATENCY_METRICS = ("e2e_s", "ttft_s", "tpot_s")
+THROUGHPUT_METRICS = ("e2e_throughput", "prefill_throughput",
+                      "decode_throughput")
+ALL_METRICS = LATENCY_METRICS + THROUGHPUT_METRICS
+
+#: Display labels used by the experiment tables.
+METRIC_LABELS = {
+    "e2e_s": "E2E latency",
+    "ttft_s": "TTFT",
+    "tpot_s": "TPOT",
+    "e2e_throughput": "E2E throughput",
+    "prefill_throughput": "Prefill throughput",
+    "decode_throughput": "Decode throughput",
+}
+
+
+def is_latency_metric(key: str) -> bool:
+    """Whether lower values of *key* are better."""
+    return key in LATENCY_METRICS
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (the right average for ratios/speedups)."""
+    if not values:
+        raise ValueError("geometric_mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric_mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def arithmetic_mean(values: Sequence[float]) -> float:
+    """Plain mean (used when averaging absolute metric values)."""
+    if not values:
+        raise ValueError("arithmetic_mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def average_summaries(summaries: Iterable[Dict[str, float]],
+                      metrics: Sequence[str] = ALL_METRICS) -> Dict[str, float]:
+    """Average each metric across several ``summary()`` dicts."""
+    rows: List[Dict[str, float]] = list(summaries)
+    if not rows:
+        raise ValueError("no summaries to average")
+    return {m: arithmetic_mean([row[m] for row in rows]) for m in metrics}
+
+
+def normalize_summary(summary: Dict[str, float],
+                      baseline: Dict[str, float]) -> Dict[str, float]:
+    """Normalize each metric to *baseline* (the paper's figure convention).
+
+    Latency metrics divide value/baseline (below 1.0 = faster than
+    baseline); throughput metrics likewise (above 1.0 = higher throughput).
+    A zero TPOT baseline (single-token generation) maps to 1.0.
+    """
+    out: Dict[str, float] = {}
+    for key, value in summary.items():
+        base = baseline.get(key)
+        if base is None:
+            continue
+        out[key] = value / base if base else 1.0
+    return out
+
+
+def latency_reduction_pct(baseline_s: float, improved_s: float) -> float:
+    """Percent latency reduction, the paper's preferred comparison form.
+
+    "reduced latency by 84.1%" means improved = baseline * (1 - 0.841).
+    """
+    if baseline_s <= 0:
+        raise ValueError("baseline latency must be > 0")
+    return (1.0 - improved_s / baseline_s) * 100.0
+
+
+def speedup(baseline_s: float, improved_s: float) -> float:
+    """Latency speedup factor baseline/improved."""
+    if improved_s <= 0:
+        raise ValueError("improved latency must be > 0")
+    return baseline_s / improved_s

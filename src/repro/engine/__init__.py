@@ -1,0 +1,55 @@
+"""Inference-engine simulator: requests, KV cache, executor, results."""
+
+from repro.engine.executor import OperatorExecutor, OpTiming
+from repro.engine.inference import (
+    DEFAULT_ENGINE_CONFIG,
+    EngineConfig,
+    InferenceSimulator,
+    MemoryCapacityError,
+    simulate,
+)
+from repro.engine.kvcache import KVCacheManager, KVCacheOverflow
+from repro.engine.paged_kvcache import (
+    BlockAllocator,
+    OutOfBlocks,
+    PagedKVCacheManager,
+    ReservedKVCacheManager,
+    max_admissible_sequences,
+)
+from repro.engine.request import (
+    EVALUATED_BATCH_SIZES,
+    EVALUATED_INPUT_LENGTHS,
+    PAPER_DEFAULT_REQUEST,
+    InferenceRequest,
+)
+from repro.engine.results import (
+    InferenceResult,
+    PhaseStats,
+    merge_phase_stats,
+    phase_stats_from_timings,
+)
+
+__all__ = [
+    "DEFAULT_ENGINE_CONFIG",
+    "EVALUATED_BATCH_SIZES",
+    "EVALUATED_INPUT_LENGTHS",
+    "EngineConfig",
+    "InferenceRequest",
+    "InferenceResult",
+    "InferenceSimulator",
+    "BlockAllocator",
+    "KVCacheManager",
+    "KVCacheOverflow",
+    "OutOfBlocks",
+    "PagedKVCacheManager",
+    "ReservedKVCacheManager",
+    "max_admissible_sequences",
+    "MemoryCapacityError",
+    "OpTiming",
+    "OperatorExecutor",
+    "PAPER_DEFAULT_REQUEST",
+    "PhaseStats",
+    "merge_phase_stats",
+    "phase_stats_from_timings",
+    "simulate",
+]

@@ -1,0 +1,135 @@
+"""Operator executor: prices one :class:`~repro.models.layers.Op` on a platform.
+
+The executor is where hardware meets workload: it selects the best engine
+per op (AMX vs AVX-512 on SPR, mirroring IPEX dispatch), applies the
+dimension-dependent GEMM efficiency, and composes the roofline
+``max(compute, memory)`` with per-launch overhead.
+"""
+
+import dataclasses
+from typing import List, Optional
+
+from repro.gemm.efficiency import gemm_efficiency
+from repro.hardware.compute import ComputeEngine, EngineKind
+from repro.hardware.datatypes import DType
+from repro.hardware.platform import Platform
+from repro.models.layers import Op
+from repro.utils.validation import require_positive
+
+# Non-GEMM (bandwidth-bound) kernels run their arithmetic on vector units
+# at a reduced fraction of peak — they are not blocked/fused like GEMMs.
+_ELEMENTWISE_COMPUTE_EFFICIENCY = 0.35
+
+
+@dataclasses.dataclass(frozen=True)
+class OpTiming:
+    """Priced execution of one operator.
+
+    Attributes:
+        op: The operator priced.
+        time_s: Roofline time including launch overhead.
+        compute_s: Compute leg (0 if the op has no FLOPs).
+        memory_s: Memory leg.
+        overhead_s: Launch/dispatch overhead charged.
+        engine_name: Engine that executed the op's GEMM portion.
+        efficiency: Compute efficiency applied.
+        memory_bound: Whether the memory leg dominated.
+    """
+
+    op: Op
+    time_s: float
+    compute_s: float
+    memory_s: float
+    overhead_s: float
+    engine_name: str
+    efficiency: float
+    memory_bound: bool
+
+
+class OperatorExecutor:
+    """Prices operators against one platform configuration.
+
+    Args:
+        platform: Target platform.
+        dtype: Compute dtype.
+        bandwidth: Effective memory bandwidth in bytes/s (already adjusted
+            for NUMA configuration, core count, and stream efficiency).
+        compute_scale: Multiplier on engine peaks (core-count scaling).
+    """
+
+    def __init__(self, platform: Platform, dtype: DType, bandwidth: float,
+                 compute_scale: float = 1.0):
+        require_positive(bandwidth, "bandwidth")
+        require_positive(compute_scale, "compute_scale")
+        self.platform = platform
+        self.dtype = dtype
+        self.bandwidth = bandwidth
+        self.compute_scale = compute_scale
+        self._engines = [e for e in platform.engines if e.supports(dtype)]
+        if not self._engines:
+            raise ValueError(f"{platform.name} has no engine for {dtype}")
+        self._vector_like = self._pick_vector_like()
+
+    def _pick_vector_like(self) -> ComputeEngine:
+        """Engine used for elementwise arithmetic (lowest-peak available)."""
+        vectors = [e for e in self._engines if e.kind is EngineKind.VECTOR]
+        if vectors:
+            return max(vectors, key=lambda e: e.peak(self.dtype))
+        return min(self._engines, key=lambda e: e.peak(self.dtype))
+
+    def time_op(self, op: Op) -> OpTiming:
+        """Price *op*; GEMM ops try every engine and keep the fastest."""
+        memory_s = op.memory_bytes / self.bandwidth if op.memory_bytes else 0.0
+        if op.is_gemm:
+            return self._time_gemm(op, memory_s)
+        return self._time_bandwidth_op(op, memory_s)
+
+    def _time_gemm(self, op: Op, memory_s: float) -> OpTiming:
+        best: Optional[OpTiming] = None
+        for engine in self._engines:
+            eff = gemm_efficiency(engine, op.m, op.n, op.k)
+            peak = engine.peak(self.dtype) * self.compute_scale
+            compute_s = op.gemm_flops / (peak * eff)
+            if op.extra_flops:
+                compute_s += op.extra_flops / (
+                    self._vector_peak() * _ELEMENTWISE_COMPUTE_EFFICIENCY)
+            overhead_s = engine.launch_overhead_s * op.kernel_launches
+            timing = OpTiming(
+                op=op,
+                time_s=max(compute_s, memory_s) + overhead_s,
+                compute_s=compute_s,
+                memory_s=memory_s,
+                overhead_s=overhead_s,
+                engine_name=engine.name,
+                efficiency=eff,
+                memory_bound=memory_s >= compute_s,
+            )
+            if best is None or timing.time_s < best.time_s:
+                best = timing
+        assert best is not None
+        return best
+
+    def _time_bandwidth_op(self, op: Op, memory_s: float) -> OpTiming:
+        engine = self._vector_like
+        compute_s = 0.0
+        if op.extra_flops:
+            compute_s = op.extra_flops / (
+                self._vector_peak() * _ELEMENTWISE_COMPUTE_EFFICIENCY)
+        overhead_s = engine.launch_overhead_s * op.kernel_launches
+        return OpTiming(
+            op=op,
+            time_s=max(compute_s, memory_s) + overhead_s,
+            compute_s=compute_s,
+            memory_s=memory_s,
+            overhead_s=overhead_s,
+            engine_name=engine.name,
+            efficiency=_ELEMENTWISE_COMPUTE_EFFICIENCY,
+            memory_bound=memory_s >= compute_s,
+        )
+
+    def _vector_peak(self) -> float:
+        return self._vector_like.peak(self.dtype) * self.compute_scale
+
+    def time_ops(self, ops: List[Op]) -> List[OpTiming]:
+        """Price a whole operator list (one pass)."""
+        return [self.time_op(op) for op in ops]

@@ -1,0 +1,196 @@
+"""Inference simulation: prefill + autoregressive decode on one platform.
+
+:class:`InferenceSimulator` is the library's main entry point for the
+non-offloaded case (both CPUs, and GPUs whose memory holds the model).
+It derives the platform's effective bandwidth and compute scale from the
+requested NUMA/core configuration, builds the operator graphs, prices them
+with the executor, and reports paper-style metrics.
+"""
+
+import dataclasses
+from typing import Optional
+
+from repro.engine.executor import OperatorExecutor
+from repro.engine.kvcache import KVCacheManager
+from repro.engine.request import InferenceRequest
+from repro.engine.results import (
+    InferenceResult,
+    merge_phase_stats,
+    phase_stats_from_timings,
+)
+from repro.hardware.platform import Platform
+from repro.models.config import ModelConfig
+from repro.models.memory import inference_footprint_bytes, weight_bytes
+from repro.models.opgraph import decode_step_ops, prefill_ops
+from repro.numa.model import NumaCalibration, NumaModel, DEFAULT_NUMA_CALIBRATION
+from repro.numa.modes import NumaConfig, QUAD_FLAT
+from repro.scaling.cores import (
+    CoreScalingModel,
+    DEFAULT_SCALING_CALIBRATION,
+    ScalingCalibration,
+)
+
+
+class MemoryCapacityError(RuntimeError):
+    """Raised when a model + KV cache cannot fit the platform's memory.
+
+    GPU callers should fall back to :mod:`repro.offload`; CPU callers hit
+    this only for models beyond even CPU capacity (e.g. OPT-175B in BF16 on
+    one socket).
+    """
+
+
+@dataclasses.dataclass(frozen=True)
+class EngineConfig:
+    """Execution configuration for a simulation run.
+
+    Attributes:
+        cores: CPU cores to use; ``None`` = one full socket (the paper's
+            tuned setting, 48 on SPR / 32 on ICL).
+        numa: CPU NUMA configuration; ``None`` = quad_flat (the paper's
+            best, Key Finding #2).
+        numa_aware: Software performs NUMA-aware placement (Section VI).
+        numa_calibration / scaling_calibration: Model constants.
+    """
+
+    cores: Optional[int] = None
+    numa: Optional[NumaConfig] = None
+    numa_aware: bool = False
+    numa_calibration: NumaCalibration = DEFAULT_NUMA_CALIBRATION
+    scaling_calibration: ScalingCalibration = DEFAULT_SCALING_CALIBRATION
+
+
+DEFAULT_ENGINE_CONFIG = EngineConfig()
+
+
+class InferenceSimulator:
+    """Simulates LLM inference on one platform.
+
+    Args:
+        platform: Target platform (CPU or GPU).
+        config: Execution configuration (NUMA/cores; ignored for GPUs).
+    """
+
+    def __init__(self, platform: Platform,
+                 config: EngineConfig = DEFAULT_ENGINE_CONFIG):
+        self.platform = platform
+        self.config = config
+        if platform.is_cpu:
+            topo = platform.topology
+            self._cores = config.cores or topo.cores_per_socket
+            self._numa = config.numa or QUAD_FLAT
+            self._scaling = CoreScalingModel(
+                platform, self._cores, config.scaling_calibration)
+            self._numa_model = NumaModel(
+                platform, self._numa, config.numa_calibration,
+                numa_aware=config.numa_aware)
+        else:
+            self._cores = None
+            self._numa = None
+            self._scaling = None
+            self._numa_model = None
+
+    @property
+    def config_label(self) -> str:
+        """Human-readable configuration tag for results."""
+        if self.platform.is_cpu:
+            return f"{self._numa.label}/{self._cores}c"
+        return "gpu"
+
+    # -- capacity ----------------------------------------------------------
+
+    def memory_capacity(self) -> float:
+        """Usable memory bytes under the current configuration."""
+        if self.platform.is_cpu:
+            capacity = self._numa_model.capacity_bytes
+            if self._scaling.spans_sockets:
+                capacity *= 2
+            return capacity
+        return self.platform.memory_capacity
+
+    def fits(self, model: ModelConfig, request: InferenceRequest) -> bool:
+        """Whether the request's peak footprint fits this configuration."""
+        footprint = inference_footprint_bytes(
+            model, request.max_seq_len, request.batch_size, request.dtype)
+        return footprint <= self.memory_capacity()
+
+    # -- bandwidth / compute derivation -------------------------------------
+
+    def effective_bandwidth(self, footprint_bytes: float) -> float:
+        """Sustained kernel bandwidth for this configuration, bytes/s."""
+        if self.platform.is_cpu:
+            numa_bw = self._numa_model.effective_bandwidth(footprint_bytes)
+            return numa_bw * self._scaling.bandwidth_factor
+        return (self.platform.peak_memory_bandwidth
+                * self.platform.stream_efficiency)
+
+    def compute_scale(self) -> float:
+        """Multiplier on the platform's reference peak FLOPS."""
+        if self.platform.is_cpu:
+            return self._scaling.compute_factor
+        return 1.0
+
+    def _executor(self, model: ModelConfig,
+                  request: InferenceRequest) -> OperatorExecutor:
+        footprint = inference_footprint_bytes(
+            model, request.max_seq_len, request.batch_size, request.dtype)
+        return OperatorExecutor(
+            self.platform, request.dtype,
+            bandwidth=self.effective_bandwidth(footprint),
+            compute_scale=self.compute_scale())
+
+    # -- simulation ----------------------------------------------------------
+
+    def run(self, model: ModelConfig, request: InferenceRequest) -> InferenceResult:
+        """Simulate the full request; raises MemoryCapacityError if too big."""
+        if not self.fits(model, request):
+            footprint = inference_footprint_bytes(
+                model, request.max_seq_len, request.batch_size, request.dtype)
+            raise MemoryCapacityError(
+                f"{model.name} needs {footprint / 1e9:.1f} GB but "
+                f"{self.platform.name} ({self.config_label}) has "
+                f"{self.memory_capacity() / 1e9:.1f} GB; use the offloading "
+                f"engine for over-capacity GPU runs")
+
+        executor = self._executor(model, request)
+        kv = KVCacheManager(model, capacity_bytes=None, dtype=request.dtype)
+        seq_ids = kv.allocate_batch(request.batch_size, request.input_len)
+
+        prefill_timings = executor.time_ops(
+            prefill_ops(model, request.batch_size, request.input_len,
+                        request.dtype))
+        prefill = phase_stats_from_timings("prefill", prefill_timings)
+
+        decode_phases = []
+        for step in range(request.decode_steps):
+            kv_len = request.input_len + step
+            step_timings = executor.time_ops(
+                decode_step_ops(model, request.batch_size, kv_len,
+                                request.dtype))
+            decode_phases.append(
+                phase_stats_from_timings(f"decode[{step}]", step_timings))
+            for seq_id in seq_ids:
+                kv.append_token(seq_id)
+        decode = merge_phase_stats("decode", decode_phases) if decode_phases \
+            else phase_stats_from_timings("decode", [])
+
+        return InferenceResult(
+            model_name=model.name,
+            platform_name=self.platform.name,
+            request=request,
+            prefill=prefill,
+            decode=decode,
+            config_label=self.config_label,
+        )
+
+    def weight_footprint(self, model: ModelConfig,
+                         request: InferenceRequest) -> float:
+        """Model weight bytes at the request's dtype (convenience)."""
+        return weight_bytes(model, request.dtype)
+
+
+def simulate(platform: Platform, model: ModelConfig,
+             request: InferenceRequest = InferenceRequest(),
+             config: EngineConfig = DEFAULT_ENGINE_CONFIG) -> InferenceResult:
+    """One-call convenience wrapper: simulate *model* x *platform*."""
+    return InferenceSimulator(platform, config).run(model, request)

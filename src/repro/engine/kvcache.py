@@ -1,0 +1,115 @@
+"""KV-cache manager.
+
+Tracks per-sequence cached token counts and enforces a byte budget — the
+substrate behind the capacity arguments of Section III (KV cache growing
+past model size) and the offloading engine's placement decisions. The
+manager is deliberately simple (contiguous per-sequence allocation, as
+IPEX/FlexGen use) rather than paged.
+"""
+
+import dataclasses
+from typing import Dict, Optional
+
+from repro.hardware.datatypes import DType
+from repro.models.config import ModelConfig
+from repro.models.memory import kv_cache_bytes_per_token
+from repro.utils.validation import require_positive
+
+
+class KVCacheOverflow(RuntimeError):
+    """Raised when an allocation would exceed the cache's byte budget."""
+
+
+@dataclasses.dataclass
+class _Sequence:
+    tokens: int
+
+
+class KVCacheManager:
+    """Byte-budgeted KV cache for one model.
+
+    Args:
+        model: Model whose K/V geometry sizes entries.
+        capacity_bytes: Budget; ``None`` means unbounded (pure accounting).
+        dtype: KV storage dtype.
+    """
+
+    def __init__(self, model: ModelConfig,
+                 capacity_bytes: Optional[float] = None,
+                 dtype: DType = DType.BF16):
+        if capacity_bytes is not None:
+            require_positive(capacity_bytes, "capacity_bytes")
+        self.model = model
+        self.capacity_bytes = capacity_bytes
+        self.dtype = dtype
+        self._per_token = kv_cache_bytes_per_token(model, dtype)
+        self._sequences: Dict[int, _Sequence] = {}
+        self._next_id = 0
+
+    @property
+    def bytes_per_token(self) -> float:
+        """KV bytes stored per cached token."""
+        return self._per_token
+
+    @property
+    def num_sequences(self) -> int:
+        """Currently allocated sequences."""
+        return len(self._sequences)
+
+    @property
+    def cached_tokens(self) -> int:
+        """Total cached tokens across sequences."""
+        return sum(seq.tokens for seq in self._sequences.values())
+
+    @property
+    def bytes_used(self) -> float:
+        """Current cache occupancy in bytes."""
+        return self.cached_tokens * self._per_token
+
+    def _check_budget(self, extra_tokens: int) -> None:
+        if self.capacity_bytes is None:
+            return
+        needed = self.bytes_used + extra_tokens * self._per_token
+        if needed > self.capacity_bytes:
+            raise KVCacheOverflow(
+                f"KV cache for {self.model.name} needs {needed:.3g} B "
+                f"but budget is {self.capacity_bytes:.3g} B")
+
+    def allocate(self, prompt_tokens: int) -> int:
+        """Admit one sequence with *prompt_tokens* cached; returns its id."""
+        require_positive(prompt_tokens, "prompt_tokens")
+        self._check_budget(prompt_tokens)
+        seq_id = self._next_id
+        self._next_id += 1
+        self._sequences[seq_id] = _Sequence(tokens=prompt_tokens)
+        return seq_id
+
+    def allocate_batch(self, batch_size: int, prompt_tokens: int) -> list:
+        """Admit *batch_size* sequences at once; returns their ids."""
+        require_positive(batch_size, "batch_size")
+        self._check_budget(batch_size * prompt_tokens)
+        return [self.allocate(prompt_tokens) for _ in range(batch_size)]
+
+    def append_token(self, seq_id: int) -> None:
+        """Cache the K/V of one newly generated token for *seq_id*."""
+        if seq_id not in self._sequences:
+            raise KeyError(f"unknown sequence id {seq_id}")
+        self._check_budget(1)
+        self._sequences[seq_id].tokens += 1
+
+    def seq_len(self, seq_id: int) -> int:
+        """Cached tokens for *seq_id*."""
+        return self._sequences[seq_id].tokens
+
+    def release(self, seq_id: int) -> None:
+        """Free a finished sequence."""
+        if seq_id not in self._sequences:
+            raise KeyError(f"unknown sequence id {seq_id}")
+        del self._sequences[seq_id]
+
+    def would_fit(self, batch_size: int, total_tokens_per_seq: int) -> bool:
+        """Whether a full request (prompt + generation) fits the budget."""
+        if self.capacity_bytes is None:
+            return True
+        needed = batch_size * total_tokens_per_seq * self._per_token
+        return self.bytes_used + needed <= self.capacity_bytes

@@ -1,0 +1,252 @@
+"""Paged KV-cache allocator (the vLLM mechanism, related work §VII-C).
+
+The paper's related work credits vLLM's paged attention with "allow[ing]
+the system to batch more sequences together". The mechanism: naive
+serving reserves a *max-length contiguous* KV buffer per sequence, so
+short sequences strand most of their reservation (internal
+fragmentation); paging allocates fixed-size token blocks on demand from a
+shared pool, so memory tracks *actual* cached tokens.
+
+This module implements both disciplines over the same byte budget so the
+batching-capacity gain can be measured on the simulator:
+
+* :class:`BlockAllocator` — fixed-size block pool with a free list;
+* :class:`PagedKVCacheManager` — per-sequence block tables, on-demand
+  growth;
+* :class:`ReservedKVCacheManager` — the naive baseline: max-length
+  contiguous reservation per sequence.
+"""
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from repro.hardware.datatypes import DType
+from repro.models.config import ModelConfig
+from repro.models.memory import kv_cache_bytes_per_token
+from repro.utils.validation import require_positive
+
+
+class OutOfBlocks(RuntimeError):
+    """Raised when the block pool cannot satisfy an allocation."""
+
+
+class BlockAllocator:
+    """Fixed-size block pool with O(1) allocate/free.
+
+    Args:
+        num_blocks: Pool size in blocks.
+        block_tokens: Tokens stored per block.
+    """
+
+    def __init__(self, num_blocks: int, block_tokens: int):
+        require_positive(num_blocks, "num_blocks")
+        require_positive(block_tokens, "block_tokens")
+        self.num_blocks = num_blocks
+        self.block_tokens = block_tokens
+        self._free: List[int] = list(range(num_blocks - 1, -1, -1))
+
+    @property
+    def free_blocks(self) -> int:
+        """Blocks currently available."""
+        return len(self._free)
+
+    @property
+    def used_blocks(self) -> int:
+        """Blocks currently allocated."""
+        return self.num_blocks - len(self._free)
+
+    def allocate(self) -> int:
+        """Take one block; raises :class:`OutOfBlocks` when exhausted."""
+        if not self._free:
+            raise OutOfBlocks(
+                f"block pool exhausted ({self.num_blocks} blocks)")
+        return self._free.pop()
+
+    def free(self, block_id: int) -> None:
+        """Return one block to the pool."""
+        if not 0 <= block_id < self.num_blocks:
+            raise ValueError(f"invalid block id {block_id}")
+        self._free.append(block_id)
+
+
+@dataclasses.dataclass
+class _PagedSequence:
+    tokens: int
+    block_table: List[int]
+
+
+class PagedKVCacheManager:
+    """vLLM-style paged KV cache under a byte budget.
+
+    Args:
+        model: Model whose K/V geometry sizes blocks.
+        capacity_bytes: Total KV budget.
+        block_tokens: Tokens per block (vLLM default is 16).
+        dtype: KV storage dtype.
+    """
+
+    def __init__(self, model: ModelConfig, capacity_bytes: float,
+                 block_tokens: int = 16, dtype: DType = DType.BF16):
+        require_positive(capacity_bytes, "capacity_bytes")
+        self.model = model
+        self.dtype = dtype
+        self.block_tokens = block_tokens
+        self.bytes_per_token = kv_cache_bytes_per_token(model, dtype)
+        num_blocks = int(capacity_bytes
+                         // (self.bytes_per_token * block_tokens))
+        if num_blocks < 1:
+            raise ValueError("capacity too small for even one block")
+        self.allocator = BlockAllocator(num_blocks, block_tokens)
+        self._sequences: Dict[int, _PagedSequence] = {}
+        self._next_id = 0
+
+    def _blocks_for(self, tokens: int) -> int:
+        return -(-tokens // self.block_tokens)
+
+    def can_admit(self, prompt_tokens: int) -> bool:
+        """Whether a new sequence's prompt fits right now."""
+        return self._blocks_for(prompt_tokens) <= self.allocator.free_blocks
+
+    def allocate(self, prompt_tokens: int) -> int:
+        """Admit one sequence; allocates exactly the blocks the prompt needs."""
+        require_positive(prompt_tokens, "prompt_tokens")
+        needed = self._blocks_for(prompt_tokens)
+        if needed > self.allocator.free_blocks:
+            raise OutOfBlocks(
+                f"need {needed} blocks, only "
+                f"{self.allocator.free_blocks} free")
+        table = [self.allocator.allocate() for _ in range(needed)]
+        seq_id = self._next_id
+        self._next_id += 1
+        self._sequences[seq_id] = _PagedSequence(prompt_tokens, table)
+        return seq_id
+
+    def append_token(self, seq_id: int) -> None:
+        """Grow one sequence by a token, taking a new block on boundaries."""
+        seq = self._sequences[seq_id]
+        if seq.tokens % self.block_tokens == 0:
+            seq.block_table.append(self.allocator.allocate())
+        seq.tokens += 1
+
+    def release(self, seq_id: int) -> None:
+        """Free all of a finished sequence's blocks."""
+        seq = self._sequences.pop(seq_id)
+        for block_id in seq.block_table:
+            self.allocator.free(block_id)
+
+    def seq_len(self, seq_id: int) -> int:
+        """Cached tokens for one sequence."""
+        return self._sequences[seq_id].tokens
+
+    @property
+    def num_sequences(self) -> int:
+        """Live sequences."""
+        return len(self._sequences)
+
+    @property
+    def cached_tokens(self) -> int:
+        """Actual tokens cached across sequences."""
+        return sum(seq.tokens for seq in self._sequences.values())
+
+    @property
+    def allocated_bytes(self) -> float:
+        """Bytes reserved by allocated blocks (>= useful bytes)."""
+        return (self.allocator.used_blocks * self.block_tokens
+                * self.bytes_per_token)
+
+    @property
+    def utilization(self) -> float:
+        """Useful bytes over allocated bytes (1 - internal fragmentation)."""
+        if self.allocator.used_blocks == 0:
+            return 1.0
+        return (self.cached_tokens * self.bytes_per_token
+                / self.allocated_bytes)
+
+
+class ReservedKVCacheManager:
+    """Naive baseline: reserve max-length contiguous KV per sequence.
+
+    Args:
+        model: Model whose K/V geometry sizes entries.
+        capacity_bytes: Total KV budget.
+        max_seq_len: Reservation length per admitted sequence.
+        dtype: KV storage dtype.
+    """
+
+    def __init__(self, model: ModelConfig, capacity_bytes: float,
+                 max_seq_len: int, dtype: DType = DType.BF16):
+        require_positive(capacity_bytes, "capacity_bytes")
+        require_positive(max_seq_len, "max_seq_len")
+        self.model = model
+        self.max_seq_len = max_seq_len
+        self.bytes_per_token = kv_cache_bytes_per_token(model, dtype)
+        self.reservation_bytes = self.bytes_per_token * max_seq_len
+        self.capacity_bytes = capacity_bytes
+        self._sequences: Dict[int, int] = {}  # id -> actual tokens
+        self._next_id = 0
+
+    @property
+    def max_sequences(self) -> int:
+        """Hard admission cap implied by the reservation size."""
+        return int(self.capacity_bytes // self.reservation_bytes)
+
+    def can_admit(self, prompt_tokens: int) -> bool:
+        """Whether one more max-length reservation fits."""
+        if prompt_tokens > self.max_seq_len:
+            return False
+        return len(self._sequences) < self.max_sequences
+
+    def allocate(self, prompt_tokens: int) -> int:
+        """Admit one sequence, reserving the full max length."""
+        require_positive(prompt_tokens, "prompt_tokens")
+        if not self.can_admit(prompt_tokens):
+            raise OutOfBlocks(
+                f"cannot admit: {len(self._sequences)} of "
+                f"{self.max_sequences} reservations used")
+        seq_id = self._next_id
+        self._next_id += 1
+        self._sequences[seq_id] = prompt_tokens
+        return seq_id
+
+    def append_token(self, seq_id: int) -> None:
+        """Grow one sequence (within its reservation)."""
+        if self._sequences[seq_id] >= self.max_seq_len:
+            raise OutOfBlocks(f"sequence {seq_id} hit its reservation")
+        self._sequences[seq_id] += 1
+
+    def release(self, seq_id: int) -> None:
+        """Free a finished sequence's reservation."""
+        del self._sequences[seq_id]
+
+    @property
+    def num_sequences(self) -> int:
+        """Live sequences."""
+        return len(self._sequences)
+
+    @property
+    def cached_tokens(self) -> int:
+        """Actual tokens cached."""
+        return sum(self._sequences.values())
+
+    @property
+    def allocated_bytes(self) -> float:
+        """Reserved bytes (max-length per live sequence)."""
+        return len(self._sequences) * self.reservation_bytes
+
+    @property
+    def utilization(self) -> float:
+        """Useful bytes over reserved bytes."""
+        if not self._sequences:
+            return 1.0
+        return (self.cached_tokens * self.bytes_per_token
+                / self.allocated_bytes)
+
+
+def max_admissible_sequences(manager, prompt_tokens: int,
+                             limit: int = 10_000) -> int:
+    """Admit identical sequences until the manager refuses; returns count."""
+    admitted = 0
+    while admitted < limit and manager.can_admit(prompt_tokens):
+        manager.allocate(prompt_tokens)
+        admitted += 1
+    return admitted

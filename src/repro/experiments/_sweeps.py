@@ -1,0 +1,56 @@
+"""Shared, memoized sweeps used by several experiment modules.
+
+Figs. 8, 9 and 10 all slice the same ICL-vs-SPR grid; Figs. 17 and 19
+slice the same CPU-vs-GPU grid. Running each grid once and caching keeps
+the benchmark harness fast without changing any result.
+"""
+
+from typing import Dict, List, Tuple
+
+from repro.core.runner import CharacterizationSweep, SweepRow
+from repro.engine.request import EVALUATED_BATCH_SIZES, InferenceRequest
+from repro.core.runner import run_inference
+from repro.hardware.registry import get_platform
+from repro.models.registry import evaluated_models
+
+_CPU_SWEEP_CACHE: List[SweepRow] = []
+_GPU_ROWS_CACHE: Dict[Tuple[int, int], list] = {}
+
+
+def cpu_sweep() -> List[SweepRow]:
+    """The Figs. 8-10 grid: 8 models x {ICL, SPR} x batches 1-32."""
+    if not _CPU_SWEEP_CACHE:
+        sweep = CharacterizationSweep(
+            [get_platform("icl"), get_platform("spr")],
+            evaluated_models(),
+            EVALUATED_BATCH_SIZES)
+        _CPU_SWEEP_CACHE.extend(sweep.run())
+    return _CPU_SWEEP_CACHE
+
+
+def cpu_gpu_results(batch_size: int, input_len: int = 128):
+    """The Figs. 17/19 grid: 8 models x {SPR, A100, H100} at one batch.
+
+    Returns ``[(model_name, {platform: result})]`` in figure order.
+    """
+    key = (batch_size, input_len)
+    if key not in _GPU_ROWS_CACHE:
+        spr = get_platform("spr")
+        a100 = get_platform("a100")
+        h100 = get_platform("h100")
+        request = InferenceRequest(batch_size=batch_size, input_len=input_len)
+        rows = []
+        for model in evaluated_models():
+            per_platform = {}
+            for platform in (spr, a100, h100):
+                per_platform[platform.name] = run_inference(
+                    platform, model, request)
+            rows.append((model.name, per_platform))
+        _GPU_ROWS_CACHE[key] = rows
+    return _GPU_ROWS_CACHE[key]
+
+
+def clear_caches() -> None:
+    """Reset memoized sweeps (used by tests that tweak calibrations)."""
+    _CPU_SWEEP_CACHE.clear()
+    _GPU_ROWS_CACHE.clear()

@@ -1,0 +1,134 @@
+"""Ablation studies for the design factors DESIGN.md calls out.
+
+The paper attributes SPR's wins to *three* co-located features — AMX,
+HBM, and more cores — without separating them (Key Finding #1 bundles
+them). The simulator can ablate each:
+
+* ``ablation_amx_hbm`` — SPR with AMX removed, with HBM removed, and
+  stock, against ICL: which feature buys which phase.
+* ``ablation_quant`` — the Section VII-B weight-only INT8 extension:
+  decode is bandwidth-bound, so halving weight bytes should roughly halve
+  TPOT (and more for DDR-spilling models).
+* ``ablation_zigzag`` — sensitivity of the offloading loading-share to the
+  zig-zag amortization slope (the offload model's main calibration knob).
+"""
+
+import dataclasses
+
+from repro.core.report import ExperimentReport
+from repro.engine.inference import simulate
+from repro.engine.request import InferenceRequest
+from repro.experiments.base import register
+from repro.hardware.registry import get_platform
+from repro.hardware.whatif import spr_without_amx, spr_without_hbm
+from repro.models.registry import get_model
+from repro.offload.engine import OffloadSimulator
+from repro.offload.policy import OffloadCalibration
+from repro.quant.engine import QuantizedInferenceSimulator
+from repro.quant.weightonly import QuantConfig, QuantScheme
+
+
+@register("ablation_amx_hbm")
+def run_amx_hbm() -> ExperimentReport:
+    """Feature ablation: stock SPR vs SPR-noAMX vs SPR-noHBM vs ICL."""
+    model = get_model("llama2-13b")
+    request = InferenceRequest(batch_size=8)
+    platforms = [
+        ("SPR (stock)", get_platform("spr")),
+        ("SPR -AMX", spr_without_amx()),
+        ("SPR -HBM", spr_without_hbm()),
+        ("ICL", get_platform("icl")),
+    ]
+    rows = []
+    results = {}
+    for label, platform in platforms:
+        result = simulate(platform, model, request)
+        results[label] = result
+        rows.append([label, result.ttft_s * 1000, result.tpot_s * 1000,
+                     result.e2e_s, result.e2e_throughput])
+    amx_ttft = results["SPR -AMX"].ttft_s / results["SPR (stock)"].ttft_s
+    hbm_tpot = results["SPR -HBM"].tpot_s / results["SPR (stock)"].tpot_s
+    notes = [
+        f"removing AMX inflates TTFT {amx_ttft:.1f}x but barely moves TPOT "
+        "— AMX is the prefill feature",
+        f"removing HBM inflates TPOT {hbm_tpot:.1f}x but barely moves TTFT "
+        "— HBM is the decode feature",
+        "together they explain Key Finding #1's bundled gains",
+    ]
+    return ExperimentReport(
+        experiment_id="ablation_amx_hbm",
+        title="Feature ablation: AMX vs HBM contributions (LLaMA2-13B, b=8)",
+        headers=["platform", "TTFT ms", "TPOT ms", "E2E s", "tokens/s"],
+        rows=rows,
+        notes=notes,
+    )
+
+
+@register("ablation_quant")
+def run_quant() -> ExperimentReport:
+    """Weight-only INT8 extension: decode speedup tracks byte reduction."""
+    spr = get_platform("spr")
+    request = InferenceRequest(batch_size=1)
+    rows = []
+    notes = []
+    for model_key in ("llama2-13b", "opt-66b"):
+        model = get_model(model_key)
+        base = simulate(spr, model, request)
+        for scheme in (QuantScheme.WEIGHT_ONLY_INT8, QuantScheme.FULL_INT8):
+            quantized = QuantizedInferenceSimulator(
+                spr, QuantConfig(scheme=scheme)).run(model, request)
+            rows.append([
+                model.name, scheme.value,
+                base.tpot_s * 1000, quantized.tpot_s * 1000,
+                base.tpot_s / quantized.tpot_s,
+                base.ttft_s / quantized.ttft_s,
+            ])
+    thirteen = [row for row in rows if row[0] == "LLaMA2-13B"]
+    sixtysix = [row for row in rows if row[0] == "OPT-66B"]
+    notes = [
+        f"HBM-resident LLaMA2-13B: decode gain ~{thirteen[0][4]:.1f}x, "
+        "tracking the ~2x weight-byte reduction (decode is bandwidth-bound)",
+        f"DDR-spilling OPT-66B: decode gain {sixtysix[0][4]:.1f}x — "
+        "quantization also pulls the model back inside HBM capacity",
+        "prediction from the paper's decode analysis, verified in simulation",
+    ]
+    return ExperimentReport(
+        experiment_id="ablation_quant",
+        title="Weight-only INT8 quantization (Section VII-B extension)",
+        headers=["model", "scheme", "BF16 TPOT ms", "quant TPOT ms",
+                 "decode gain", "prefill gain"],
+        rows=rows,
+        notes=notes,
+    )
+
+
+@register("ablation_zigzag")
+def run_zigzag() -> ExperimentReport:
+    """Sensitivity of Fig. 18's loading share to the zig-zag slope."""
+    gpu = get_platform("a100")
+    model = get_model("opt-30b")
+    rows = []
+    for slope in (0.0, 0.1, 0.21, 0.4):
+        calibration = OffloadCalibration(
+            zigzag_amortization_slope=slope) if slope > 0 else \
+            OffloadCalibration(zigzag_amortization_slope=1e-9)
+        simulator = OffloadSimulator(gpu, calibration)
+        share_b1 = simulator.run(
+            model, InferenceRequest(batch_size=1)).loading_share
+        share_b32 = simulator.run(
+            model, InferenceRequest(batch_size=32)).loading_share
+        rows.append([slope, share_b1 * 100, share_b32 * 100,
+                     (share_b1 - share_b32) * 100])
+    notes = [
+        "batch-1 share is slope-independent (no batch to amortize across)",
+        "the slope controls only how fast the share declines with batch — "
+        "the calibrated 0.21 lands the Fig. 18 and Fig. 21 shapes "
+        "simultaneously",
+    ]
+    return ExperimentReport(
+        experiment_id="ablation_zigzag",
+        title="Zig-zag amortization slope sensitivity (A100/OPT-30B)",
+        headers=["slope", "loading % b=1", "loading % b=32", "decline pp"],
+        rows=rows,
+        notes=notes,
+    )

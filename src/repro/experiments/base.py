@@ -1,0 +1,43 @@
+"""Experiment registry.
+
+Every reproduced table/figure registers a zero-argument runner returning an
+:class:`~repro.core.report.ExperimentReport`. The benchmark harness, the
+``examples/`` scripts, and the EXPERIMENTS.md generator all drive the same
+registry, so figure definitions live in exactly one place.
+"""
+
+from typing import Callable, Dict, List
+
+from repro.core.report import ExperimentReport
+
+ExperimentRunner = Callable[[], ExperimentReport]
+
+_REGISTRY: Dict[str, ExperimentRunner] = {}
+
+
+def register(experiment_id: str):
+    """Class-level decorator registering an experiment runner."""
+    def wrap(func: ExperimentRunner) -> ExperimentRunner:
+        if experiment_id in _REGISTRY:
+            raise ValueError(f"duplicate experiment id {experiment_id!r}")
+        _REGISTRY[experiment_id] = func
+        return func
+    return wrap
+
+
+def run_experiment(experiment_id: str) -> ExperimentReport:
+    """Run one registered experiment by id (e.g. ``"fig8"``)."""
+    if experiment_id not in _REGISTRY:
+        raise KeyError(f"unknown experiment {experiment_id!r}; known: "
+                       f"{sorted(_REGISTRY)}")
+    return _REGISTRY[experiment_id]()
+
+
+def all_experiment_ids() -> List[str]:
+    """All registered experiment ids, sorted."""
+    return sorted(_REGISTRY)
+
+
+def run_all_experiments() -> List[ExperimentReport]:
+    """Run the full registry (EXPERIMENTS.md generation)."""
+    return [run_experiment(eid) for eid in all_experiment_ids()]

@@ -1,0 +1,153 @@
+"""Extensions: paged KV capacity, speculative decoding, energy efficiency.
+
+* ``ext_paged_kv`` — vLLM's paged-attention argument (related work
+  §VII-C): under the same KV byte budget, paging admits far more
+  sequences than max-length contiguous reservations.
+* ``ext_specdecode`` — SpecInfer-style speculative decoding (ref [37]):
+  because CPU decode is memory-bound, verifying gamma draft tokens in one
+  target pass amortizes the weight stream and cuts effective TPOT.
+* ``whatif_energy`` — tokens per joule from TDP proxies: the energy
+  companion to footnote 1's price analysis.
+"""
+
+from repro.analysis.energy import tokens_per_joule
+from repro.core.report import ExperimentReport
+from repro.core.runner import run_inference
+from repro.engine.paged_kvcache import (
+    PagedKVCacheManager,
+    ReservedKVCacheManager,
+    max_admissible_sequences,
+)
+from repro.engine.request import InferenceRequest
+from repro.experiments.base import register
+from repro.hardware.registry import get_platform
+from repro.models.registry import get_model
+from repro.specdecode.model import SpecDecodeConfig, SpeculativeDecoder
+from repro.utils.units import GB
+
+
+@register("ext_paged_kv")
+def run_paged_kv() -> ExperimentReport:
+    """Admission capacity: paged vs reserved KV under one byte budget."""
+    model = get_model("llama2-13b")
+    budget = 32 * GB
+    rows = []
+    for prompt_tokens, max_seq in ((128, 4096), (256, 4096), (512, 2048),
+                                   (1024, 2048)):
+        paged = PagedKVCacheManager(model, budget)
+        reserved = ReservedKVCacheManager(model, budget, max_seq_len=max_seq)
+        admitted_paged = max_admissible_sequences(paged, prompt_tokens)
+        admitted_reserved = max_admissible_sequences(reserved, prompt_tokens)
+        rows.append([
+            prompt_tokens, max_seq,
+            admitted_reserved, admitted_paged,
+            admitted_paged / max(1, admitted_reserved),
+            reserved.utilization, paged.utilization,
+        ])
+    notes = [
+        "reserved allocation strands (max_seq - prompt) tokens per "
+        "sequence; paging allocates only live blocks",
+        "this is the vLLM mechanism that 'allows the system to batch more "
+        "sequences together' (paper Section VII-C), quantified",
+    ]
+    return ExperimentReport(
+        experiment_id="ext_paged_kv",
+        title="Paged vs reserved KV cache (LLaMA2-13B, 32 GB budget)",
+        headers=["prompt", "max_seq", "reserved admits", "paged admits",
+                 "gain", "reserved util", "paged util"],
+        rows=rows,
+        notes=notes,
+    )
+
+
+@register("ext_specdecode")
+def run_specdecode() -> ExperimentReport:
+    """Speculative decoding on the SPR CPU with an OPT-1.3B draft."""
+    spr = get_platform("spr")
+    draft = get_model("opt-1.3b")
+    rows = []
+    for target_key in ("opt-13b", "opt-30b", "opt-66b"):
+        target = get_model(target_key)
+        for gamma in (2, 4, 8):
+            decoder = SpeculativeDecoder(
+                spr, target, draft,
+                SpecDecodeConfig(gamma=gamma, acceptance_rate=0.8))
+            estimate = decoder.estimate(InferenceRequest(batch_size=1))
+            rows.append([
+                target.name, gamma,
+                estimate.baseline_tpot_s * 1000,
+                estimate.effective_tpot_s * 1000,
+                estimate.speedup,
+            ])
+    best = max(rows, key=lambda row: row[4])
+    notes = [
+        "decode reads all target weights per token; verification reads "
+        "them once per gamma+1 candidates, so memory-bound platforms gain "
+        "nearly the acceptance-weighted draft length",
+        f"best observed: {best[0]} at gamma={best[1]}: {best[4]:.1f}x TPOT",
+        "gains grow with target size — bigger weight streams amortize more",
+    ]
+    return ExperimentReport(
+        experiment_id="ext_specdecode",
+        title="Speculative decoding on SPR (draft OPT-1.3B, alpha=0.8)",
+        headers=["target", "gamma", "baseline TPOT ms", "spec TPOT ms",
+                 "speedup"],
+        rows=rows,
+        notes=notes,
+    )
+
+
+@register("whatif_energy")
+def run_energy() -> ExperimentReport:
+    """Tokens per joule across the testbed (TDP proxies)."""
+    request = InferenceRequest(batch_size=1)
+    rows = []
+    for model_key in ("opt-13b", "opt-66b"):
+        model = get_model(model_key)
+        for platform_key in ("icl", "spr", "a100", "h100"):
+            platform = get_platform(platform_key)
+            try:
+                result = run_inference(platform, model, request)
+            except Exception:
+                continue
+            rows.append([model.name, platform.name,
+                         result.e2e_throughput,
+                         tokens_per_joule(result)])
+    notes = [
+        "for in-memory models GPUs win energy efficiency (more tokens per "
+        "joule despite higher TDP); offloaded models invert the ranking — "
+        "the PCIe-stalled GPU burns TDP while waiting",
+    ]
+    return ExperimentReport(
+        experiment_id="whatif_energy",
+        title="Energy efficiency (tokens/joule, TDP proxy, batch 1)",
+        headers=["model", "platform", "tokens/s", "tokens/J"],
+        rows=rows,
+        notes=notes,
+    )
+
+
+@register("calibration")
+def run_calibration() -> ExperimentReport:
+    """All DESIGN.md §5 calibration targets: paper vs measured vs band."""
+    from repro.calibration.targets import check_all_targets
+    rows = []
+    for result in check_all_targets():
+        target = result.target
+        rows.append([
+            target.target_id,
+            target.description,
+            target.paper_value,
+            result.measured,
+            f"[{target.band[0]:g}, {target.band[1]:g}]",
+            "OK" if result.in_band else "OUT",
+        ])
+    in_band = sum(1 for row in rows if row[5] == "OK")
+    return ExperimentReport(
+        experiment_id="calibration",
+        title="Calibration targets (DESIGN.md §5)",
+        headers=["target", "description", "paper", "measured", "band",
+                 "verdict"],
+        rows=rows,
+        notes=[f"{in_band}/{len(rows)} targets inside their bands"],
+    )

@@ -1,0 +1,55 @@
+"""Extension: mixture-of-experts decode on the CPU.
+
+MoE models (Mixtral-8x7B-class) hold ~47B parameters but each token
+activates only 2 of 8 experts. On a memory-bound decode platform the
+consequence is direct: per-step weight traffic at batch 1 is roughly
+``attention + 2/8 of the FFN`` — a fraction of a dense 47B model's stream
+— but batching erodes the advantage because more tokens activate more
+experts. The experiment sweeps batch size against a parameter-matched
+dense model to expose that convergence, a trade-off invisible on
+compute-bound hardware but decisive on CPUs.
+"""
+
+from repro.core.report import ExperimentReport
+from repro.engine.inference import simulate
+from repro.engine.request import InferenceRequest
+from repro.experiments.base import register
+from repro.hardware.registry import get_platform
+from repro.models.builder import scale_to_params
+from repro.models.registry import get_model
+
+
+@register("ext_moe")
+def run() -> ExperimentReport:
+    """Mixtral-8x7B vs a parameter-matched dense model on SPR decode."""
+    spr = get_platform("spr")
+    moe = get_model("mixtral-8x7b")
+    dense = scale_to_params(47.0, name="Dense-47B-equivalent")
+    rows = []
+    for batch in (1, 2, 4, 8, 16, 32):
+        request = InferenceRequest(batch_size=batch)
+        moe_result = simulate(spr, moe, request)
+        dense_result = simulate(spr, dense, request)
+        rows.append([
+            batch,
+            moe.active_expert_fraction(batch),
+            moe_result.tpot_s * 1000,
+            dense_result.tpot_s * 1000,
+            dense_result.tpot_s / moe_result.tpot_s,
+        ])
+    notes = [
+        f"at batch 1 only {moe.top_k}/{moe.n_experts} of the FFN streams: "
+        f"MoE decodes {rows[0][4]:.1f}x faster than the parameter-matched "
+        "dense model",
+        "the advantage erodes with batch as routing touches every expert "
+        "(active-fraction column) — on bandwidth-bound CPUs, MoE is a "
+        "small-batch optimization",
+    ]
+    return ExperimentReport(
+        experiment_id="ext_moe",
+        title="MoE vs dense decode on SPR (Mixtral-8x7B vs dense 47B)",
+        headers=["batch", "active expert frac", "MoE TPOT ms",
+                 "dense TPOT ms", "MoE advantage"],
+        rows=rows,
+        notes=notes,
+    )

@@ -1,0 +1,57 @@
+"""Extension: batching-policy study (static vs continuous batching).
+
+The paper's related work (Section VII-C) surveys the batching systems —
+FasterTransformer's request-level batches, Orca's iteration-level
+scheduling, vLLM's paged batching — that make its large-batch sweeps
+realistic in production. This experiment quantifies the scheduling gap on
+the simulated SPR CPU: same cost model, same arrivals, different policy.
+"""
+
+from repro.core.report import ExperimentReport
+from repro.experiments.base import register
+from repro.hardware.registry import get_platform
+from repro.models.registry import get_model
+from repro.serving.arrivals import poisson_arrivals
+from repro.serving.scheduler import BatchingSimulator
+from repro.workloads.generator import chatbot_workload
+
+ARRIVAL_RATES = (0.5, 1.0, 2.0, 4.0)
+REQUEST_COUNT = 24
+SEED = 11
+
+
+@register("ext_serving")
+def run() -> ExperimentReport:
+    """Static vs continuous batching across arrival rates on the SPR CPU."""
+    simulator = BatchingSimulator(get_platform("spr"),
+                                  get_model("llama2-7b"), max_batch=8)
+    rows = []
+    ttft_gains = []
+    for rate in ARRIVAL_RATES:
+        arrivals = poisson_arrivals(rate, REQUEST_COUNT,
+                                    chatbot_workload(), seed=SEED)
+        static = simulator.run_static(arrivals)
+        continuous = simulator.run_continuous(arrivals)
+        ttft_gains.append(static.mean_ttft_s / continuous.mean_ttft_s)
+        rows.append([
+            rate,
+            static.throughput, continuous.throughput,
+            static.mean_ttft_s, continuous.mean_ttft_s,
+            static.p95_ttft_s, continuous.p95_ttft_s,
+        ])
+    notes = [
+        "continuous (iteration-level) batching admits requests the moment "
+        "slots free up: TTFT improves "
+        f"{min(ttft_gains):.1f}x-{max(ttft_gains):.0f}x across load levels",
+        "throughput also improves — finished sequences stop occupying "
+        "batch slots (the Orca/vLLM result, reproduced on the CPU model)",
+    ]
+    return ExperimentReport(
+        experiment_id="ext_serving",
+        title="Batching policies on SPR (LLaMA2-7B, chatbot arrivals)",
+        headers=["rate req/s", "static tok/s", "cont tok/s",
+                 "static TTFT s", "cont TTFT s", "static p95 s",
+                 "cont p95 s"],
+        rows=rows,
+        notes=notes,
+    )

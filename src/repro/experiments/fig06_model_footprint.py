@@ -1,0 +1,52 @@
+"""Fig. 6 — FP16 weight memory footprint per model.
+
+Expected anchors from the paper's text: OPT-175B ~350 GB ("requires 350GB
+of memory to load the weights with the FP16 data type"); LLaMA2-70B needs
+more than one 80 GB H100; GPT-3-class models need five H100s.
+"""
+
+from repro.core.report import ExperimentReport
+from repro.experiments.base import register
+from repro.hardware.registry import get_platform
+from repro.models.memory import weight_bytes
+from repro.models.registry import all_models
+from repro.utils.units import bytes_to_gb
+
+#: Models plotted, smallest to largest (figure x-axis order).
+FOOTPRINT_MODELS = (
+    "opt-1.3b", "opt-6.7b", "llama2-7b", "opt-13b", "llama2-13b",
+    "opt-30b", "opt-66b", "llama2-70b", "opt-175b",
+)
+
+
+@register("fig6")
+def run() -> ExperimentReport:
+    """FP16 weight bytes per model, with GPU-count requirements."""
+    models = all_models()
+    a100 = get_platform("a100").memory_capacity
+    h100 = get_platform("h100").memory_capacity
+    rows = []
+    for key in FOOTPRINT_MODELS:
+        model = models[key]
+        gb = bytes_to_gb(weight_bytes(model))
+        rows.append([
+            model.name,
+            gb,
+            -(-weight_bytes(model) // a100),  # A100s needed (ceil)
+            -(-weight_bytes(model) // h100),  # H100s needed (ceil)
+        ])
+    opt175 = bytes_to_gb(weight_bytes(models["opt-175b"]))
+    notes = [
+        f"paper: OPT-175B needs ~350 GB FP16; measured {opt175:.0f} GB",
+        "paper: LLaMA2-70B needs at least two H100 GPUs; "
+        f"measured {rows[-2][3]:.0f}",
+        "paper: GPT-3 175B-class needs at least five H100s; "
+        f"measured {rows[-1][3]:.0f}",
+    ]
+    return ExperimentReport(
+        experiment_id="fig6",
+        title="Model weight footprint (FP16)",
+        headers=["model", "GB", "A100s needed", "H100s needed"],
+        rows=rows,
+        notes=notes,
+    )

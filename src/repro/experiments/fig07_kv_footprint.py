@@ -1,0 +1,46 @@
+"""Fig. 7 — KV-cache footprint vs sequence length and batch size.
+
+LLaMA2-13B; the dotted line in the paper's figure is the model size
+(~26 GB FP16). Expected shape: linear growth in both axes, crossing the
+model size at large batch x sequence products.
+"""
+
+from repro.core.report import ExperimentReport
+from repro.experiments.base import register
+from repro.models.memory import kv_cache_bytes, weight_bytes
+from repro.models.registry import get_model
+from repro.utils.units import bytes_to_gb
+
+SEQ_LENS = (512, 1024, 2048, 4096, 8192, 16384, 32768)
+BATCHES = (1, 4, 8, 16, 32)
+
+
+@register("fig7")
+def run() -> ExperimentReport:
+    """KV GB for LLaMA2-13B across (seq_len, batch) with model-size marker."""
+    model = get_model("llama2-13b")
+    model_gb = bytes_to_gb(weight_bytes(model))
+    rows = []
+    crossings = []
+    for seq in SEQ_LENS:
+        row = [seq]
+        for batch in BATCHES:
+            gb = bytes_to_gb(kv_cache_bytes(model, seq, batch))
+            row.append(gb)
+            if gb > model_gb and (seq, batch) not in crossings:
+                crossings.append((seq, batch))
+        rows.append(row)
+    first_cross = min(crossings, key=lambda sb: sb[0] * sb[1]) if crossings else None
+    notes = [
+        f"model size marker (dotted line in paper): {model_gb:.1f} GB FP16",
+        "KV grows linearly in both sequence length and batch size",
+        f"KV first exceeds model size at seq x batch = {first_cross}"
+        if first_cross else "KV never exceeds model size in swept range",
+    ]
+    return ExperimentReport(
+        experiment_id="fig7",
+        title="LLaMA2-13B KV-cache footprint (GB)",
+        headers=["seq_len"] + [f"batch={b}" for b in BATCHES],
+        rows=rows,
+        notes=notes,
+    )

@@ -1,0 +1,67 @@
+"""Figs. 11 and 12 — hardware counters vs batch size on the SPR CPU.
+
+Fig. 11 profiles LLaMA2-13B, Fig. 12 profiles OPT-66B. Expected trends
+(paper): with larger batches, LLC MPKI *decreases*, core utilization
+*increases*, and load/store instruction counts (normalized to batch 1)
+*increase* — the workload shifts toward compute-bound execution.
+"""
+
+from typing import List
+
+from repro.core.report import ExperimentReport
+from repro.engine.request import EVALUATED_BATCH_SIZES, InferenceRequest
+from repro.experiments.base import register
+from repro.hardware.registry import get_platform
+from repro.models.registry import get_model
+from repro.perfcounters.collector import CounterModel
+
+
+def _counters_vs_batch(model_key: str, experiment_id: str,
+                       figure_name: str) -> ExperimentReport:
+    model = get_model(model_key)
+    counter_model = CounterModel(get_platform("spr"))
+    rows: List[list] = []
+    base_ls = None
+    estimates = []
+    for batch in EVALUATED_BATCH_SIZES:
+        est = counter_model.estimate(model, InferenceRequest(batch_size=batch))
+        estimates.append((batch, est))
+        if base_ls is None:
+            base_ls = est.load_store_instructions
+        rows.append([
+            batch,
+            est.llc_mpki,
+            est.core_utilization * 100.0,
+            est.load_store_instructions / base_ls,
+        ])
+    mpki_monotone = all(estimates[i][1].llc_mpki >= estimates[i + 1][1].llc_mpki
+                        for i in range(len(estimates) - 1))
+    util_monotone = all(
+        estimates[i][1].core_utilization <= estimates[i + 1][1].core_utilization
+        for i in range(len(estimates) - 1))
+    notes = [
+        f"paper trend: MPKI decreases with batch — holds: {mpki_monotone}",
+        f"paper trend: core utilization increases with batch — holds: {util_monotone}",
+        "paper trend: load/store count (normalized to batch 1) grows with batch",
+        "interpretation: larger batches raise arithmetic intensity, shifting "
+        "execution toward compute-bound",
+    ]
+    return ExperimentReport(
+        experiment_id=experiment_id,
+        title=f"{figure_name}: {model.name} counters vs batch on SPR",
+        headers=["batch", "LLC MPKI", "core util %", "ld/st (norm b=1)"],
+        rows=rows,
+        notes=notes,
+    )
+
+
+@register("fig11")
+def run_fig11() -> ExperimentReport:
+    """LLaMA2-13B counters vs batch (Fig. 11)."""
+    return _counters_vs_batch("llama2-13b", "fig11", "Fig. 11")
+
+
+@register("fig12")
+def run_fig12() -> ExperimentReport:
+    """OPT-66B counters vs batch (Fig. 12)."""
+    return _counters_vs_batch("opt-66b", "fig12", "Fig. 12")

@@ -1,0 +1,53 @@
+"""Fig. 18 — GPU execution time breakdown under offloading.
+
+(a) OPT-30B on A100, (b) OPT-66B on H100, batch sizes 1-32. Paper anchors:
+the A100 spends 67%-95% of execution time loading data over PCIe; the
+H100 spends 59%-92%; the loading share *falls* as batch size grows thanks
+to FlexGen's zig-zag block scheduling.
+"""
+
+from typing import List
+
+from repro.core.report import ExperimentReport
+from repro.engine.request import EVALUATED_BATCH_SIZES, InferenceRequest
+from repro.experiments.base import register
+from repro.hardware.registry import get_platform
+from repro.models.registry import get_model
+from repro.offload.engine import OffloadSimulator
+
+
+@register("fig18")
+def run() -> ExperimentReport:
+    """Loading vs compute share per batch for both offloaded cases."""
+    cases = [
+        ("a100", "opt-30b", (67.0, 95.0)),
+        ("h100", "opt-66b", (59.0, 92.0)),
+    ]
+    rows: List[list] = []
+    notes: List[str] = []
+    for platform_key, model_key, (paper_lo, paper_hi) in cases:
+        gpu = get_platform(platform_key)
+        model = get_model(model_key)
+        simulator = OffloadSimulator(gpu)
+        shares = []
+        for batch in EVALUATED_BATCH_SIZES:
+            result = simulator.run(model, InferenceRequest(batch_size=batch))
+            share = result.loading_share * 100.0
+            shares.append(share)
+            rows.append([gpu.name, model.name, batch, share, 100.0 - share])
+        monotone = all(shares[i] >= shares[i + 1]
+                       for i in range(len(shares) - 1))
+        notes.append(
+            f"{gpu.name}/{model.name}: loading share "
+            f"{min(shares):.0f}%-{max(shares):.0f}% "
+            f"(paper {paper_lo:.0f}%-{paper_hi:.0f}%), declines with "
+            f"batch: {monotone}")
+    notes.append("zig-zag block scheduling amortizes each streamed weight "
+                 "block across the batch, shrinking the loading share")
+    return ExperimentReport(
+        experiment_id="fig18",
+        title="Offloading execution-time breakdown (loading vs compute)",
+        headers=["gpu", "model", "batch", "loading %", "compute %"],
+        rows=rows,
+        notes=notes,
+    )

@@ -1,0 +1,26 @@
+"""Key Findings #1-#5 as a single pass/fail experiment table."""
+
+from repro.core.findings import check_all_findings
+from repro.core.report import ExperimentReport
+from repro.experiments.base import register
+
+
+@register("findings")
+def run() -> ExperimentReport:
+    """Run all Key Finding validators and tabulate pass/fail + evidence."""
+    rows = []
+    for finding in check_all_findings():
+        rows.append([
+            f"KF#{finding.finding_id}",
+            finding.statement,
+            "HOLDS" if finding.holds else "FAILS",
+            finding.detail,
+        ])
+    holds = sum(1 for row in rows if row[2] == "HOLDS")
+    return ExperimentReport(
+        experiment_id="findings",
+        title="Paper Key Findings validation",
+        headers=["id", "statement", "verdict", "evidence"],
+        rows=rows,
+        notes=[f"{holds}/{len(rows)} Key Findings reproduced"],
+    )

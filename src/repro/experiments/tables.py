@@ -1,0 +1,71 @@
+"""Tables I and II — evaluation platform configurations.
+
+Rendered directly from the hardware registry, so the benchmark output
+documents exactly what the simulator was configured with.
+"""
+
+from repro.core.report import ExperimentReport
+from repro.experiments.base import register
+from repro.hardware.datatypes import DType
+from repro.hardware.registry import get_platform
+from repro.utils.units import TFLOPS, bytes_to_gb
+
+
+@register("table1")
+def run_table1() -> ExperimentReport:
+    """Table I: CPU server configurations."""
+    rows = []
+    for key in ("icl", "spr"):
+        platform = get_platform(key)
+        topo = platform.topology
+        engines = " / ".join(
+            f"{engine.name}:{engine.peak(DType.BF16) / TFLOPS:.1f}TF"
+            for engine in platform.engines)
+        memory = " + ".join(
+            f"{tier.name} {bytes_to_gb(tier.capacity_bytes):.0f}GB@"
+            f"{bytes_to_gb(tier.sustained_bw):.1f}GB/s"
+            for tier in platform.memory.tiers)
+        rows.append([
+            platform.name,
+            f"{topo.cores_per_socket}x{topo.sockets}",
+            f"{topo.base_frequency_hz / 1e9:.2f}GHz",
+            engines,
+            f"{bytes_to_gb(platform.caches.llc.capacity_bytes):.3g}GB" if
+            platform.caches.llc.capacity_bytes >= 1e9 else
+            f"{platform.caches.llc.capacity_bytes / 1e6:.0f}MB",
+            memory,
+        ])
+    return ExperimentReport(
+        experiment_id="table1",
+        title="CPU server configurations (paper Table I)",
+        headers=["platform", "cores", "freq", "BF16 engines", "LLC", "memory"],
+        rows=rows,
+        notes=["values encode Table I verbatim; STREAM bandwidths per socket"],
+    )
+
+
+@register("table2")
+def run_table2() -> ExperimentReport:
+    """Table II: GPU server configurations."""
+    rows = []
+    for key in ("a100", "h100"):
+        platform = get_platform(key)
+        engine = platform.engines[0]
+        rows.append([
+            platform.name,
+            platform.sms,
+            f"{engine.peak(DType.BF16) / TFLOPS:.0f}TF",
+            f"{platform.caches.llc.capacity_bytes / 1e6:.0f}MB",
+            f"{bytes_to_gb(platform.memory_capacity):.0f}GB",
+            f"{bytes_to_gb(platform.peak_memory_bandwidth):.1f}GB/s",
+            f"{platform.host_link.name}@"
+            f"{bytes_to_gb(platform.host_link.nominal_bw):.0f}GB/s",
+        ])
+    return ExperimentReport(
+        experiment_id="table2",
+        title="GPU server configurations (paper Table II)",
+        headers=["platform", "SMs", "BF16 peak", "L2", "memory",
+                 "STREAM BW", "host link"],
+        rows=rows,
+        notes=["values encode Table II verbatim (dense TFLOPS, no sparsity)"],
+    )

@@ -1,0 +1,87 @@
+"""What-if studies from the paper's discussion sections.
+
+* ``whatif_gh200`` — Section V-B: Grace-Hopper's 900 GB/s NVLink-C2C
+  should slash offloading overhead vs PCIe — "albeit at a cost of ~4x of
+  the SPR CPU and DDR5". Both halves of the sentence are checked.
+* ``whatif_cost`` — footnote 1: the Max 9468 lists at ~1/3 of an H100;
+  throughput-per-dollar is the CPU's real pitch for over-capacity models.
+"""
+
+from repro.analysis.cost import (
+    cost_efficiency_ratio,
+    list_price,
+    price_ratio,
+    throughput_per_kilodollar,
+)
+from repro.core.report import ExperimentReport
+from repro.core.runner import run_inference
+from repro.engine.request import InferenceRequest
+from repro.experiments.base import register
+from repro.hardware.registry import get_platform
+from repro.hardware.whatif import gh200
+from repro.models.registry import get_model
+from repro.offload.engine import OffloadSimulator
+
+
+@register("whatif_gh200")
+def run_gh200() -> ExperimentReport:
+    """GH200 NVLink offloading vs H100 PCIe offloading vs the SPR CPU."""
+    model = get_model("opt-66b")
+    request = InferenceRequest(batch_size=1)
+    cpu = run_inference(get_platform("spr"), model, request)
+    h100 = OffloadSimulator(get_platform("h100")).run(model, request)
+    gh = OffloadSimulator(gh200()).run(model, request)
+    rows = [
+        ["SPR-Max-9468", "in-memory", cpu.e2e_s, cpu.e2e_throughput,
+         throughput_per_kilodollar(cpu)],
+        ["H100-80GB", "offload/PCIe5", h100.e2e_s, h100.e2e_throughput,
+         throughput_per_kilodollar(h100)],
+        ["GH200-96GB", "offload/NVLink", gh.e2e_s, gh.e2e_throughput,
+         throughput_per_kilodollar(gh)],
+    ]
+    notes = [
+        f"NVLink cuts offloaded E2E {h100.e2e_s / gh.e2e_s:.1f}x vs PCIe "
+        "(paper: 'would see lower overheads for offloading')",
+        f"GH200 beats the CPU on absolute latency but the CPU keeps a "
+        f"{cost_efficiency_ratio(cpu, gh):.1f}x throughput-per-dollar edge "
+        "(paper: 'at a cost of ~4x of the SPR CPU')",
+    ]
+    return ExperimentReport(
+        experiment_id="whatif_gh200",
+        title="Grace-Hopper what-if: OPT-66B, batch 1 (Section V-B)",
+        headers=["platform", "mode", "E2E s", "tokens/s", "tokens/s/k$"],
+        rows=rows,
+        notes=notes,
+    )
+
+
+@register("whatif_cost")
+def run_cost() -> ExperimentReport:
+    """Throughput per dollar across the testbed (footnote 1)."""
+    request = InferenceRequest(batch_size=1)
+    rows = []
+    for model_key in ("opt-13b", "opt-30b", "opt-66b"):
+        model = get_model(model_key)
+        for platform_key in ("spr", "a100", "h100"):
+            platform = get_platform(platform_key)
+            result = run_inference(platform, model, request)
+            rows.append([
+                model.name, platform.name,
+                list_price(platform.name),
+                result.e2e_throughput,
+                throughput_per_kilodollar(result),
+            ])
+    notes = [
+        f"price ratio H100/SPR = {price_ratio('H100-80GB', 'SPR-Max-9468'):.1f} "
+        "(paper footnote 1: ~3x)",
+        "for in-memory OPT-13B the GPU's absolute win shrinks to near "
+        "parity per dollar; for offloaded models the CPU dominates both "
+        "absolutely and per dollar",
+    ]
+    return ExperimentReport(
+        experiment_id="whatif_cost",
+        title="Throughput per dollar (listing-price proxy, batch 1)",
+        headers=["model", "platform", "list $", "tokens/s", "tokens/s/k$"],
+        rows=rows,
+        notes=notes,
+    )

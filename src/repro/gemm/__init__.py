@@ -1,0 +1,35 @@
+"""GEMM cost model: roofline primitives, efficiency curves, simulator."""
+
+from repro.gemm.efficiency import (
+    EfficiencyCurve,
+    GPU_CURVE,
+    MATRIX_CURVE,
+    VECTOR_CURVE,
+    gemm_efficiency,
+    tile_utilization,
+)
+from repro.gemm.roofline import (
+    attainable_flops,
+    compute_time,
+    is_memory_bound,
+    memory_time,
+    op_time,
+)
+from repro.gemm.simulator import GemmSimulator, GemmTiming, sweep_square_gemm
+
+__all__ = [
+    "EfficiencyCurve",
+    "GPU_CURVE",
+    "GemmSimulator",
+    "GemmTiming",
+    "MATRIX_CURVE",
+    "VECTOR_CURVE",
+    "attainable_flops",
+    "compute_time",
+    "gemm_efficiency",
+    "is_memory_bound",
+    "memory_time",
+    "op_time",
+    "sweep_square_gemm",
+    "tile_utilization",
+]

@@ -1,0 +1,173 @@
+"""Transformer model configuration.
+
+:class:`ModelConfig` captures the architectural hyperparameters of a
+decoder-only transformer (Section II-A): layer count, hidden width,
+attention head layout (including grouped-query attention for LLaMA2-70B),
+and feed-forward shape. All downstream math — parameter counts, FLOP
+counts, KV-cache sizes, operator graphs — derives from these fields.
+"""
+
+import dataclasses
+import enum
+
+from repro.utils.validation import require_positive
+
+
+class FFNKind(enum.Enum):
+    """Feed-forward block structure.
+
+    * ``RELU_MLP`` — two matrices with a ReLU between (OPT family).
+    * ``SWIGLU``  — three matrices (gate, up, down) with SiLU gating
+      (LLaMA-2 family).
+    """
+
+    RELU_MLP = "relu_mlp"
+    SWIGLU = "swiglu"
+
+    @property
+    def matrix_count(self) -> int:
+        """Number of weight matrices in one FFN block."""
+        return 2 if self is FFNKind.RELU_MLP else 3
+
+
+@dataclasses.dataclass(frozen=True)
+class ModelConfig:
+    """Architecture of one decoder-only LLM.
+
+    Attributes:
+        name: Display name used in figures ("OPT-13B", "LLaMA2-70B").
+        family: Model family ("opt" or "llama2").
+        n_layers: Number of decoder blocks.
+        d_model: Hidden dimension.
+        n_heads: Query attention heads.
+        n_kv_heads: Key/value heads (< n_heads means grouped-query
+            attention; LLaMA2-70B uses 8 KV heads for 64 query heads).
+        d_ff: Feed-forward inner dimension.
+        ffn_kind: FFN block structure.
+        vocab_size: Vocabulary size.
+        max_positions: Maximum trained sequence length.
+        tied_embeddings: Whether input embedding and LM head share weights
+            (OPT ties them; LLaMA-2 does not).
+        learned_positional_embeddings: OPT uses a learned positional
+            embedding table (counted in parameters); LLaMA-2 uses RoPE
+            (no table).
+        n_experts: FFN experts per layer (1 = dense). Mixture-of-experts
+            models replicate the FFN ``n_experts`` times and route each
+            token to ``top_k`` of them.
+        top_k: Experts each token activates (MoE only).
+    """
+
+    name: str
+    family: str
+    n_layers: int
+    d_model: int
+    n_heads: int
+    n_kv_heads: int
+    d_ff: int
+    ffn_kind: FFNKind
+    vocab_size: int
+    max_positions: int
+    tied_embeddings: bool
+    learned_positional_embeddings: bool
+    n_experts: int = 1
+    top_k: int = 1
+
+    def __post_init__(self) -> None:
+        require_positive(self.n_layers, "n_layers")
+        require_positive(self.d_model, "d_model")
+        require_positive(self.n_heads, "n_heads")
+        require_positive(self.n_kv_heads, "n_kv_heads")
+        require_positive(self.d_ff, "d_ff")
+        require_positive(self.vocab_size, "vocab_size")
+        require_positive(self.max_positions, "max_positions")
+        if self.d_model % self.n_heads != 0:
+            raise ValueError(
+                f"{self.name}: d_model {self.d_model} not divisible by "
+                f"n_heads {self.n_heads}")
+        if self.n_heads % self.n_kv_heads != 0:
+            raise ValueError(
+                f"{self.name}: n_heads {self.n_heads} not divisible by "
+                f"n_kv_heads {self.n_kv_heads}")
+        require_positive(self.n_experts, "n_experts")
+        require_positive(self.top_k, "top_k")
+        if self.top_k > self.n_experts:
+            raise ValueError(
+                f"{self.name}: top_k {self.top_k} exceeds n_experts "
+                f"{self.n_experts}")
+
+    @property
+    def head_dim(self) -> int:
+        """Per-head dimension."""
+        return self.d_model // self.n_heads
+
+    @property
+    def d_kv(self) -> int:
+        """Total key/value width per token (n_kv_heads * head_dim)."""
+        return self.n_kv_heads * self.head_dim
+
+    @property
+    def uses_gqa(self) -> bool:
+        """Whether the model uses grouped-query attention."""
+        return self.n_kv_heads < self.n_heads
+
+    def attention_params_per_layer(self) -> int:
+        """Weights in one attention block: Q, K, V, O projections."""
+        q = self.d_model * self.d_model
+        k = self.d_model * self.d_kv
+        v = self.d_model * self.d_kv
+        o = self.d_model * self.d_model
+        return q + k + v + o
+
+    @property
+    def is_moe(self) -> bool:
+        """Whether the FFN is a mixture of experts."""
+        return self.n_experts > 1
+
+    def active_expert_fraction(self, tokens: int) -> float:
+        """Expected fraction of experts touched by *tokens* routed tokens.
+
+        Each token activates ``top_k`` experts (uniform routing
+        approximation); an expert escapes untouched with probability
+        ``(1 - top_k/E)^tokens``. At tokens=1 this is exactly ``top_k/E``
+        (the MoE decode advantage); it saturates to 1 as batches grow —
+        the batch-dependent weight-traffic signature of MoE decode.
+        """
+        if not self.is_moe:
+            return 1.0
+        if tokens < 1:
+            raise ValueError(f"tokens must be >= 1, got {tokens}")
+        escape = (1.0 - self.top_k / self.n_experts) ** tokens
+        return 1.0 - escape
+
+    def ffn_params_per_layer(self) -> int:
+        """Weights in one FFN block (all experts for MoE)."""
+        return (self.ffn_kind.matrix_count * self.d_model * self.d_ff
+                * self.n_experts)
+
+    def router_params_per_layer(self) -> int:
+        """Router (gating) weights per layer: d_model x n_experts."""
+        if not self.is_moe:
+            return 0
+        return self.d_model * self.n_experts
+
+    def params_per_layer(self) -> int:
+        """Weights in one decoder block (norms included; biases for OPT)."""
+        norms = 2 * 2 * self.d_model  # two LayerNorms, scale + shift
+        biases = 0
+        if self.family == "opt":
+            # OPT uses biased linears: 4 attention projections + 2 FFN mats.
+            biases = (2 * self.d_model + 2 * self.d_kv) + (self.d_ff + self.d_model)
+        return (self.attention_params_per_layer()
+                + self.ffn_params_per_layer()
+                + self.router_params_per_layer() + norms + biases)
+
+    def embedding_params(self) -> int:
+        """Embedding-table weights (token + positional + untied LM head)."""
+        token = self.vocab_size * self.d_model
+        positional = self.max_positions * self.d_model if self.learned_positional_embeddings else 0
+        lm_head = 0 if self.tied_embeddings else self.vocab_size * self.d_model
+        return token + positional + lm_head
+
+    def param_count(self) -> int:
+        """Total parameter count derived from the architecture."""
+        return self.n_layers * self.params_per_layer() + self.embedding_params()

@@ -1,0 +1,119 @@
+"""Registry of the evaluated models: OPT and LLaMA-2 families (Section IV-A).
+
+The paper evaluates OPT with 1.3B/6.7B/13B/30B/66B parameters and LLaMA-2
+with 7B/13B/70B. OPT-175B appears in the motivation (Figs. 1 context and 6);
+it is included for the footprint figure. Hyperparameters follow the
+published model cards (OPT paper Table 1; LLaMA-2 paper Table 1).
+"""
+
+from typing import Dict, List
+
+from repro.models.config import FFNKind, ModelConfig
+
+_OPT_VOCAB = 50272
+_OPT_MAX_POS = 2048
+_LLAMA2_VOCAB = 32000
+_LLAMA2_MAX_POS = 4096
+
+
+def _opt(name: str, n_layers: int, d_model: int, n_heads: int) -> ModelConfig:
+    return ModelConfig(
+        name=name,
+        family="opt",
+        n_layers=n_layers,
+        d_model=d_model,
+        n_heads=n_heads,
+        n_kv_heads=n_heads,
+        d_ff=4 * d_model,
+        ffn_kind=FFNKind.RELU_MLP,
+        vocab_size=_OPT_VOCAB,
+        max_positions=_OPT_MAX_POS,
+        tied_embeddings=True,
+        learned_positional_embeddings=True,
+    )
+
+
+def _llama2(name: str, n_layers: int, d_model: int, n_heads: int,
+            n_kv_heads: int, d_ff: int) -> ModelConfig:
+    return ModelConfig(
+        name=name,
+        family="llama2",
+        n_layers=n_layers,
+        d_model=d_model,
+        n_heads=n_heads,
+        n_kv_heads=n_kv_heads,
+        d_ff=d_ff,
+        ffn_kind=FFNKind.SWIGLU,
+        vocab_size=_LLAMA2_VOCAB,
+        max_positions=_LLAMA2_MAX_POS,
+        tied_embeddings=False,
+        learned_positional_embeddings=False,
+    )
+
+
+_MODELS: Dict[str, ModelConfig] = {
+    "opt-1.3b": _opt("OPT-1.3B", n_layers=24, d_model=2048, n_heads=32),
+    "opt-6.7b": _opt("OPT-6.7B", n_layers=32, d_model=4096, n_heads=32),
+    "opt-13b": _opt("OPT-13B", n_layers=40, d_model=5120, n_heads=40),
+    "opt-30b": _opt("OPT-30B", n_layers=48, d_model=7168, n_heads=56),
+    "opt-66b": _opt("OPT-66B", n_layers=64, d_model=9216, n_heads=72),
+    "opt-175b": _opt("OPT-175B", n_layers=96, d_model=12288, n_heads=96),
+    "llama2-7b": _llama2("LLaMA2-7B", n_layers=32, d_model=4096,
+                         n_heads=32, n_kv_heads=32, d_ff=11008),
+    "llama2-13b": _llama2("LLaMA2-13B", n_layers=40, d_model=5120,
+                          n_heads=40, n_kv_heads=40, d_ff=13824),
+    "llama2-70b": _llama2("LLaMA2-70B", n_layers=80, d_model=8192,
+                          n_heads=64, n_kv_heads=8, d_ff=28672),
+    # Mixture-of-experts extension model (not part of the paper's grid):
+    # Mixtral-8x7B-class — 8 experts, 2 active per token, GQA.
+    "mixtral-8x7b": ModelConfig(
+        name="Mixtral-8x7B",
+        family="mixtral",
+        n_layers=32,
+        d_model=4096,
+        n_heads=32,
+        n_kv_heads=8,
+        d_ff=14336,
+        ffn_kind=FFNKind.SWIGLU,
+        vocab_size=32000,
+        max_positions=4096,
+        tied_embeddings=False,
+        learned_positional_embeddings=False,
+        n_experts=8,
+        top_k=2,
+    ),
+}
+
+# The eight models of the main evaluation, ordered by parameter count as the
+# paper's figures order their x-axes.
+EVALUATED_MODEL_NAMES: List[str] = [
+    "opt-1.3b",
+    "opt-6.7b",
+    "llama2-7b",
+    "opt-13b",
+    "llama2-13b",
+    "opt-30b",
+    "opt-66b",
+    "llama2-70b",
+]
+
+
+def get_model(name: str) -> ModelConfig:
+    """Look up a model by key, e.g. ``"opt-13b"`` or ``"llama2-70b"``.
+
+    Display names ("OPT-13B") are also accepted, case-insensitively.
+    """
+    key = name.lower()
+    if key in _MODELS:
+        return _MODELS[key]
+    raise KeyError(f"unknown model {name!r}; known: {sorted(_MODELS)}")
+
+
+def evaluated_models() -> List[ModelConfig]:
+    """The eight models used in the paper's main evaluation, in figure order."""
+    return [_MODELS[name] for name in EVALUATED_MODEL_NAMES]
+
+
+def all_models() -> Dict[str, ModelConfig]:
+    """All registered models, keyed by canonical name (includes OPT-175B)."""
+    return dict(_MODELS)

@@ -1,0 +1,83 @@
+"""NUMA topology derived from a CPU platform and clustering mode.
+
+In Quadrant mode each socket is one NUMA node owning all its cores, HBM,
+and DDR channels. In SNC-4 mode the socket splits into four sub-NUMA
+clusters, each owning a quarter of the cores and a quarter of each memory
+tier's channels/capacity. A thread's accesses to another cluster's memory
+traverse the on-die mesh — cheaper than UPI, but measurably slower than
+cluster-local accesses, which is the effect Fig. 15 shows as "remote LLC
+accesses".
+"""
+
+import dataclasses
+from typing import List
+
+from repro.hardware.platform import CPUTopology, Platform
+from repro.numa.modes import ClusteringMode
+from repro.utils.validation import require_positive
+
+
+@dataclasses.dataclass(frozen=True)
+class NumaNode:
+    """One exposed NUMA domain.
+
+    Attributes:
+        node_id: Index within the server.
+        socket: Owning socket index.
+        cores: Physical cores in this node.
+        hbm_bytes / ddr_bytes: Memory capacity owned by this node.
+        hbm_bw / ddr_bw: STREAM bandwidth owned by this node (bytes/s).
+    """
+
+    node_id: int
+    socket: int
+    cores: int
+    hbm_bytes: float
+    ddr_bytes: float
+    hbm_bw: float
+    ddr_bw: float
+
+    def __post_init__(self) -> None:
+        require_positive(self.cores, "cores")
+
+
+def build_nodes(platform: Platform, clustering: ClusteringMode) -> List[NumaNode]:
+    """Enumerate NUMA nodes for *platform* under *clustering* mode.
+
+    Only meaningful for CPU platforms with a topology. Capacities and
+    bandwidths are divided evenly across sub-NUMA clusters, matching SNC's
+    per-cluster memory-controller assignment.
+    """
+    if not platform.is_cpu or platform.topology is None:
+        raise ValueError(f"{platform.name} is not a CPU platform")
+    topo: CPUTopology = platform.topology
+    clusters = (topo.snc_clusters_per_socket
+                if clustering is ClusteringMode.SNC4 else 1)
+
+    hbm_bytes = hbm_bw = ddr_bytes = ddr_bw = 0.0
+    for tier in platform.memory.tiers:
+        if tier.name.upper().startswith("HBM"):
+            hbm_bytes, hbm_bw = tier.capacity_bytes, tier.sustained_bw
+        else:
+            ddr_bytes, ddr_bw = tier.capacity_bytes, tier.sustained_bw
+
+    nodes: List[NumaNode] = []
+    node_id = 0
+    for socket in range(topo.sockets):
+        for _ in range(clusters):
+            nodes.append(NumaNode(
+                node_id=node_id,
+                socket=socket,
+                cores=topo.cores_per_socket // clusters,
+                hbm_bytes=hbm_bytes / clusters,
+                ddr_bytes=ddr_bytes / clusters,
+                hbm_bw=hbm_bw / clusters,
+                ddr_bw=ddr_bw / clusters,
+            ))
+            node_id += 1
+    return nodes
+
+
+def nodes_per_socket(clustering: ClusteringMode, topo: CPUTopology) -> int:
+    """Exposed NUMA nodes per socket under *clustering*."""
+    return topo.snc_clusters_per_socket if clustering is ClusteringMode.SNC4 else 1

@@ -1,0 +1,36 @@
+"""Section VI optimization studies: NUMA-aware placement, hybrid execution."""
+
+from repro.optim.batch_tuner import BatchChoice, tune_batch_size
+from repro.optim.disaggregation import (
+    DisaggregatedEstimate,
+    DisaggregatedPlanner,
+)
+from repro.optim.advisor import (
+    Candidate,
+    DeploymentAdvisor,
+    Recommendation,
+)
+from repro.optim.hybrid import HybridPlan, HybridPlanner, candidate_fractions
+from repro.optim.numa_aware import (
+    NumaAwareOutcome,
+    evaluate_numa_aware_snc,
+    hot_cold_effective_bandwidth,
+    hot_cold_speedup,
+)
+
+__all__ = [
+    "BatchChoice",
+    "Candidate",
+    "DisaggregatedEstimate",
+    "DisaggregatedPlanner",
+    "tune_batch_size",
+    "DeploymentAdvisor",
+    "HybridPlan",
+    "Recommendation",
+    "HybridPlanner",
+    "NumaAwareOutcome",
+    "candidate_fractions",
+    "evaluate_numa_aware_snc",
+    "hot_cold_effective_bandwidth",
+    "hot_cold_speedup",
+]

@@ -1,0 +1,126 @@
+"""Deployment advisor: the paper's findings packaged as a recommender.
+
+Given a model and a workload shape, search the configuration space the
+paper characterizes — platform, NUMA mode, core count, optional INT8
+weight quantization, optional TP across sockets — and recommend the
+configuration optimizing the workload's priority metric (TTFT for
+chatbots, TPOT for translation, throughput for analytics; Section II-C).
+"""
+
+import dataclasses
+from typing import Callable, List, Optional
+
+from repro.core.runner import run_inference
+from repro.engine.inference import EngineConfig, InferenceSimulator
+from repro.engine.request import InferenceRequest
+from repro.hardware.platform import Platform
+from repro.hardware.registry import get_platform
+from repro.models.config import ModelConfig
+from repro.numa.modes import EVALUATED_CONFIGS
+from repro.parallel.tensor_parallel import TensorParallelSimulator, TPConfig
+from repro.quant.engine import QuantizedInferenceSimulator
+from repro.quant.weightonly import QuantConfig
+from repro.utils.validation import require_in
+
+#: Metrics the advisor can optimize; latencies minimize, throughput maximizes.
+PRIORITY_METRICS = ("ttft_s", "tpot_s", "e2e_s", "e2e_throughput")
+
+
+@dataclasses.dataclass(frozen=True)
+class Candidate:
+    """One evaluated configuration.
+
+    Attributes:
+        label: Human-readable configuration description.
+        platform: Platform name.
+        metric_value: Value of the optimized metric.
+        summary: All six metrics.
+    """
+
+    label: str
+    platform: str
+    metric_value: float
+    summary: dict
+
+
+@dataclasses.dataclass(frozen=True)
+class Recommendation:
+    """Advisor output: the winner plus the ranked field."""
+
+    priority_metric: str
+    best: Candidate
+    ranked: List[Candidate]
+
+
+class DeploymentAdvisor:
+    """Searches deployment configurations for one (model, request).
+
+    Args:
+        platforms: Platforms to consider (defaults to the paper's four).
+        consider_quantization: Include weight-only INT8 candidates on CPUs.
+        consider_tensor_parallel: Include TP=2 candidates on CPUs.
+    """
+
+    def __init__(self, platforms: Optional[List[Platform]] = None,
+                 consider_quantization: bool = True,
+                 consider_tensor_parallel: bool = True):
+        if platforms is None:
+            platforms = [get_platform(key)
+                         for key in ("icl", "spr", "a100", "h100")]
+        self.platforms = platforms
+        self.consider_quantization = consider_quantization
+        self.consider_tensor_parallel = consider_tensor_parallel
+
+    def _candidates(self, model: ModelConfig,
+                    request: InferenceRequest) -> List[Candidate]:
+        candidates: List[Candidate] = []
+
+        def add(label: str, platform_name: str, runner: Callable):
+            try:
+                result = runner()
+            except Exception:
+                return
+            candidates.append(Candidate(
+                label=label,
+                platform=platform_name,
+                metric_value=0.0,  # filled by caller per priority
+                summary=result.summary(),
+            ))
+
+        for platform in self.platforms:
+            if platform.is_gpu:
+                add(f"{platform.name}", platform.name,
+                    lambda p=platform: run_inference(p, model, request))
+                continue
+            # CPU: the paper's tuned config plus the snc/cache alternates.
+            for numa in EVALUATED_CONFIGS:
+                add(f"{platform.name} {numa.label}", platform.name,
+                    lambda p=platform, n=numa: InferenceSimulator(
+                        p, EngineConfig(numa=n)).run(model, request))
+            if self.consider_quantization:
+                add(f"{platform.name} quad_flat+int8", platform.name,
+                    lambda p=platform: QuantizedInferenceSimulator(
+                        p, QuantConfig()).run(model, request))
+            if self.consider_tensor_parallel and \
+                    platform.topology.sockets >= 2:
+                add(f"{platform.name} quad_flat+tp2", platform.name,
+                    lambda p=platform: TensorParallelSimulator(
+                        p, TPConfig(degree=2)).run(model, request))
+        return candidates
+
+    def recommend(self, model: ModelConfig,
+                  request: InferenceRequest = InferenceRequest(),
+                  priority_metric: str = "e2e_throughput") -> Recommendation:
+        """Evaluate all candidates and rank by *priority_metric*."""
+        require_in(priority_metric, PRIORITY_METRICS, "priority_metric")
+        maximize = priority_metric == "e2e_throughput"
+        scored = []
+        for candidate in self._candidates(model, request):
+            value = candidate.summary[priority_metric]
+            scored.append(dataclasses.replace(candidate, metric_value=value))
+        if not scored:
+            raise RuntimeError(
+                f"no feasible configuration for {model.name} at this shape")
+        scored.sort(key=lambda c: c.metric_value, reverse=maximize)
+        return Recommendation(priority_metric=priority_metric,
+                              best=scored[0], ranked=scored)

@@ -1,0 +1,72 @@
+"""Batch-size auto-tuner: largest batch under memory and TPOT constraints.
+
+The paper sweeps batch sizes and observes throughput rising while TPOT
+creeps up (Fig. 8-10); a deployment must pick a point. The tuner searches
+powers of two for the largest batch that (a) fits the configuration's
+memory and (b) keeps TPOT under a bound — the knee the paper's batch
+sweeps implicitly locate.
+"""
+
+import dataclasses
+from typing import List, Optional
+
+from repro.core.runner import run_inference
+from repro.engine.inference import DEFAULT_ENGINE_CONFIG, EngineConfig
+from repro.engine.request import InferenceRequest
+from repro.hardware.platform import Platform
+from repro.models.config import ModelConfig
+from repro.utils.validation import require_positive
+
+
+@dataclasses.dataclass(frozen=True)
+class BatchChoice:
+    """Tuner output.
+
+    Attributes:
+        batch_size: Selected batch (0 if nothing feasible).
+        tpot_s / throughput: Metrics at the selected batch.
+        evaluated: (batch, tpot, throughput, feasible) for each candidate.
+    """
+
+    batch_size: int
+    tpot_s: float
+    throughput: float
+    evaluated: List[tuple]
+
+
+def tune_batch_size(platform: Platform, model: ModelConfig,
+                    tpot_budget_s: float,
+                    input_len: int = 128, output_len: int = 32,
+                    max_batch: int = 64,
+                    config: EngineConfig = DEFAULT_ENGINE_CONFIG
+                    ) -> BatchChoice:
+    """Largest power-of-two batch meeting the TPOT budget.
+
+    Throughput grows monotonically with batch in the simulator, so the
+    largest feasible batch is also the highest-throughput one.
+    """
+    require_positive(tpot_budget_s, "tpot_budget_s")
+    require_positive(max_batch, "max_batch")
+    evaluated: List[tuple] = []
+    best: Optional[tuple] = None
+    batch = 1
+    while batch <= max_batch:
+        request = InferenceRequest(batch_size=batch, input_len=input_len,
+                                   output_len=output_len)
+        try:
+            result = run_inference(platform, model, request, config)
+        except Exception:
+            evaluated.append((batch, None, None, False))
+            batch *= 2
+            continue
+        feasible = result.tpot_s <= tpot_budget_s
+        evaluated.append((batch, result.tpot_s, result.e2e_throughput,
+                          feasible))
+        if feasible:
+            best = (batch, result.tpot_s, result.e2e_throughput)
+        batch *= 2
+    if best is None:
+        return BatchChoice(batch_size=0, tpot_s=0.0, throughput=0.0,
+                           evaluated=evaluated)
+    return BatchChoice(batch_size=best[0], tpot_s=best[1],
+                       throughput=best[2], evaluated=evaluated)

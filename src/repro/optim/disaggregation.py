@@ -1,0 +1,124 @@
+"""Prefill/decode disaggregation across a GPU and a CPU (Section VI sequel).
+
+The paper's hybrid-execution proposal splits *layers* between CPU and
+GPU. A complementary split follows directly from its two-phase analysis:
+phases have opposite resource demands, so give each phase the device it
+matches — **prefill on the GPU** (compute-bound, tensor cores shine) and
+**decode on the CPU** (memory-bound; an AMX/HBM CPU holds the whole model
+and KV locally, while a GPU would either idle its FLOPs or, for large
+models, stream weights over PCIe every token).
+
+The handoff cost is real and modeled: the prompt's KV cache crosses PCIe
+once per request (GPU -> CPU), after which decode proceeds entirely
+CPU-side.
+
+The interesting regime is models that FIT the GPU: pure-GPU decode is
+fast, so disaggregation trades some TPOT for releasing the expensive GPU
+after prefill — the per-dollar and utilization argument the paper makes
+for data centers "where GPU resources are fully occupied".
+"""
+
+import dataclasses
+
+from repro.analysis.cost import list_price
+from repro.core.runner import run_inference
+from repro.engine.inference import InferenceSimulator
+from repro.engine.request import InferenceRequest
+from repro.hardware.platform import Platform
+from repro.models.config import ModelConfig
+from repro.models.memory import kv_cache_bytes
+from repro.offload.policy import DEFAULT_OFFLOAD_CALIBRATION
+
+
+@dataclasses.dataclass(frozen=True)
+class DisaggregatedEstimate:
+    """Projected disaggregated execution of one request.
+
+    Attributes:
+        ttft_s: GPU prefill time plus the KV handoff.
+        tpot_s: CPU decode time per token.
+        e2e_s: Total request latency.
+        kv_handoff_s: One-time KV transfer cost (inside ttft_s).
+        gpu_busy_s: Time the GPU is occupied (prefill only).
+        cpu_only_e2e_s / gpu_only_e2e_s: Single-device references.
+    """
+
+    ttft_s: float
+    tpot_s: float
+    e2e_s: float
+    kv_handoff_s: float
+    gpu_busy_s: float
+    cpu_only_e2e_s: float
+    gpu_only_e2e_s: float
+
+    @property
+    def gpu_occupancy_fraction(self) -> float:
+        """GPU busy time relative to serving the request end-to-end on it."""
+        return self.gpu_busy_s / self.gpu_only_e2e_s
+
+    def gpu_seconds_saved(self) -> float:
+        """GPU time released per request vs pure-GPU serving."""
+        return self.gpu_only_e2e_s - self.gpu_busy_s
+
+
+class DisaggregatedPlanner:
+    """Evaluates GPU-prefill + CPU-decode execution.
+
+    Args:
+        cpu: Decode-side CPU platform.
+        gpu: Prefill-side GPU platform.
+    """
+
+    def __init__(self, cpu: Platform, gpu: Platform):
+        if not cpu.is_cpu or not gpu.is_gpu:
+            raise ValueError("DisaggregatedPlanner needs a CPU and a GPU")
+        self.cpu = cpu
+        self.gpu = gpu
+        self._pcie_bw = (gpu.host_link.nominal_bw
+                         * DEFAULT_OFFLOAD_CALIBRATION.pcie_efficiency)
+
+    def estimate(self, model: ModelConfig,
+                 request: InferenceRequest = InferenceRequest()
+                 ) -> DisaggregatedEstimate:
+        """Project the disaggregated request (model must fit the GPU)."""
+        gpu_result = run_inference(self.gpu, model, request)
+        cpu_result = InferenceSimulator(self.cpu).run(model, request)
+
+        prefill_gpu = gpu_result.ttft_s
+        kv_bytes = kv_cache_bytes(model, request.input_len,
+                                  request.batch_size, request.dtype)
+        handoff = kv_bytes / self._pcie_bw
+        decode_cpu = cpu_result.decode.time_s
+
+        ttft = prefill_gpu + handoff
+        e2e = ttft + decode_cpu
+        tpot = (decode_cpu / request.decode_steps
+                if request.decode_steps else 0.0)
+        return DisaggregatedEstimate(
+            ttft_s=ttft,
+            tpot_s=tpot,
+            e2e_s=e2e,
+            kv_handoff_s=handoff,
+            gpu_busy_s=prefill_gpu,
+            cpu_only_e2e_s=cpu_result.e2e_s,
+            gpu_only_e2e_s=gpu_result.e2e_s,
+        )
+
+    def cost_weighted_throughput(self, model: ModelConfig,
+                                 request: InferenceRequest
+                                 ) -> dict:
+        """Tokens per second per 1000 USD for the three serving options.
+
+        Disaggregation charges the GPU only for its busy fraction (the
+        released time serves other tenants) plus the whole CPU.
+        """
+        estimate = self.estimate(model, request)
+        tokens = request.total_generated_tokens
+        cpu_price = list_price(self.cpu.name) / 1000.0
+        gpu_price = list_price(self.gpu.name) / 1000.0
+        return {
+            "cpu_only": tokens / estimate.cpu_only_e2e_s / cpu_price,
+            "gpu_only": tokens / estimate.gpu_only_e2e_s / gpu_price,
+            "disaggregated": tokens / estimate.e2e_s / (
+                cpu_price + gpu_price * estimate.gpu_occupancy_fraction),
+        }

@@ -1,0 +1,21 @@
+"""Multi-socket parallel-execution substrate: tensor and pipeline parallel."""
+
+from repro.parallel.pipeline_parallel import (
+    PPConfig,
+    PPEstimate,
+    PipelineParallelSimulator,
+)
+from repro.parallel.tensor_parallel import (
+    TPConfig,
+    TensorParallelSimulator,
+    tp_speedup,
+)
+
+__all__ = [
+    "PPConfig",
+    "PPEstimate",
+    "PipelineParallelSimulator",
+    "TPConfig",
+    "TensorParallelSimulator",
+    "tp_speedup",
+]

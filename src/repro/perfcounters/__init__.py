@@ -1,0 +1,19 @@
+"""Performance-counter estimation substrate (perf/VTune substitute)."""
+
+from repro.perfcounters.collector import CounterModel
+from repro.perfcounters.counters import (
+    BOOKKEEPING_FRACTION,
+    CounterEstimates,
+    FLOPS_PER_INSTRUCTION,
+    LINE_BYTES,
+    OPERAND_LOAD_FLOPS,
+)
+
+__all__ = [
+    "BOOKKEEPING_FRACTION",
+    "OPERAND_LOAD_FLOPS",
+    "CounterEstimates",
+    "CounterModel",
+    "FLOPS_PER_INSTRUCTION",
+    "LINE_BYTES",
+]

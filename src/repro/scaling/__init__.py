@@ -1,0 +1,15 @@
+"""Core-count scaling substrate."""
+
+from repro.scaling.cores import (
+    DEFAULT_SCALING_CALIBRATION,
+    EVALUATED_CORE_COUNTS,
+    CoreScalingModel,
+    ScalingCalibration,
+)
+
+__all__ = [
+    "DEFAULT_SCALING_CALIBRATION",
+    "EVALUATED_CORE_COUNTS",
+    "CoreScalingModel",
+    "ScalingCalibration",
+]

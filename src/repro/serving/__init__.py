@@ -1,0 +1,40 @@
+"""Serving substrate: arrivals, batching policies, SLO analysis."""
+
+from repro.serving.arrivals import ArrivingRequest, poisson_arrivals
+from repro.serving.scheduler import (
+    BatchingSimulator,
+    CompletedRequest,
+    ServingReport,
+)
+from repro.serving.multitenancy import (
+    MultiTenantSimulator,
+    TenantSlowdown,
+    tenancy_sweep,
+)
+from repro.serving.prefix_cache import PrefixCacheEstimate, PrefixCacheModel
+from repro.serving.provisioning import (
+    ProvisioningOption,
+    ProvisioningPlan,
+    ProvisioningPlanner,
+)
+from repro.serving.slo import SLO, attainment, goodput, max_sustainable_rate
+
+__all__ = [
+    "ArrivingRequest",
+    "BatchingSimulator",
+    "CompletedRequest",
+    "MultiTenantSimulator",
+    "PrefixCacheEstimate",
+    "PrefixCacheModel",
+    "ProvisioningOption",
+    "ProvisioningPlan",
+    "ProvisioningPlanner",
+    "SLO",
+    "TenantSlowdown",
+    "tenancy_sweep",
+    "ServingReport",
+    "attainment",
+    "goodput",
+    "max_sustainable_rate",
+    "poisson_arrivals",
+]

@@ -1,0 +1,70 @@
+"""Request-arrival generation for serving simulations.
+
+Produces deterministic, seeded arrival streams: exponential inter-arrival
+times (Poisson process) with per-request prompt/output lengths drawn from
+a workload spec. Used by the batching-policy study, which extends the
+paper's throughput discussion toward the serving systems its related-work
+section cites (Orca, vLLM, Sarathi).
+"""
+
+import dataclasses
+import random
+from typing import List, Optional, Tuple
+
+from repro.utils.validation import require_positive
+
+# Default request-shape ranges (a chatbot-like mix) used when no workload
+# spec is supplied. Any object exposing ``input_len_range`` and
+# ``output_len_range`` attributes works as a spec — including
+# :class:`repro.workloads.generator.WorkloadSpec` — which keeps this module
+# free of a circular dependency on the workloads package.
+_DEFAULT_INPUT_RANGE: Tuple[int, int] = (32, 256)
+_DEFAULT_OUTPUT_RANGE: Tuple[int, int] = (16, 64)
+
+
+@dataclasses.dataclass(frozen=True)
+class ArrivingRequest:
+    """One request with an arrival timestamp.
+
+    Attributes:
+        request_id: Stable id within the stream.
+        arrival_s: Simulated arrival time.
+        input_len / output_len: Request shape (single sequence; batching is
+            the scheduler's job).
+    """
+
+    request_id: int
+    arrival_s: float
+    input_len: int
+    output_len: int
+
+
+def poisson_arrivals(rate_per_s: float, count: int,
+                     spec: Optional[object] = None,
+                     seed: int = 0) -> List[ArrivingRequest]:
+    """Generate *count* arrivals at *rate_per_s* with spec-shaped lengths.
+
+    *spec* is any object with ``input_len_range`` / ``output_len_range``
+    (min, max) attributes — a
+    :class:`~repro.workloads.generator.WorkloadSpec` fits; ``None`` uses a
+    chatbot-like default. Deterministic for a fixed (rate, count, spec,
+    seed).
+    """
+    require_positive(rate_per_s, "rate_per_s")
+    require_positive(count, "count")
+    input_range = (spec.input_len_range if spec is not None
+                   else _DEFAULT_INPUT_RANGE)
+    output_range = (spec.output_len_range if spec is not None
+                    else _DEFAULT_OUTPUT_RANGE)
+    rng = random.Random(seed)
+    now = 0.0
+    requests: List[ArrivingRequest] = []
+    for request_id in range(count):
+        now += rng.expovariate(rate_per_s)
+        requests.append(ArrivingRequest(
+            request_id=request_id,
+            arrival_s=now,
+            input_len=rng.randint(*input_range),
+            output_len=rng.randint(*output_range),
+        ))
+    return requests

@@ -1,0 +1,376 @@
+"""Batching-policy serving simulation: static vs continuous batching.
+
+The paper's related work (Section VII-C) credits iteration-level
+scheduling (Orca) and paged batching (vLLM) with the throughput gains
+that make large batch sizes — and hence the paper's batch sweeps —
+realistic. This module simulates both disciplines on top of the
+operator-level engine:
+
+* **static batching** — requests queue until the server is free; the
+  scheduler takes up to ``max_batch`` queued requests, pads them to a
+  common shape, and runs the whole batch to completion before admitting
+  more (FasterTransformer-style).
+* **continuous batching** — iteration-level: after every decode
+  iteration, finished sequences leave and queued requests join (their
+  prefill runs as an extra pass on admission), keeping slots full.
+
+Both use the same cost model, so differences are purely scheduling.
+"""
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+from repro.engine.executor import OperatorExecutor
+from repro.engine.inference import DEFAULT_ENGINE_CONFIG, EngineConfig, InferenceSimulator
+from repro.engine.request import InferenceRequest
+from repro.hardware.datatypes import DType
+from repro.hardware.platform import Platform
+from repro.models.config import ModelConfig
+from repro.models.opgraph import decode_step_ops, prefill_ops
+from repro.serving.arrivals import ArrivingRequest
+from repro.utils.validation import require_positive
+
+
+@dataclasses.dataclass
+class CompletedRequest:
+    """Per-request timing after a serving simulation.
+
+    Attributes:
+        request_id: Id from the arrival stream.
+        arrival_s / start_s / first_token_s / finish_s: Lifecycle stamps.
+    """
+
+    request_id: int
+    arrival_s: float
+    start_s: float
+    first_token_s: float
+    finish_s: float
+
+    @property
+    def queue_delay_s(self) -> float:
+        """Time waiting before any computation."""
+        return self.start_s - self.arrival_s
+
+    @property
+    def ttft_s(self) -> float:
+        """Arrival-to-first-token latency (user-perceived TTFT)."""
+        return self.first_token_s - self.arrival_s
+
+    @property
+    def e2e_s(self) -> float:
+        """Arrival-to-completion latency."""
+        return self.finish_s - self.arrival_s
+
+
+@dataclasses.dataclass(frozen=True)
+class ServingReport:
+    """Aggregate outcome of one serving simulation.
+
+    Attributes:
+        policy: "static", "continuous", or "chunked".
+        completed: Per-request records, in completion order.
+        makespan_s: Last completion time.
+        generated_tokens: Total tokens produced.
+        decode_gaps: Inter-token gaps observed by running sequences (how
+            long each was stalled between its consecutive tokens —
+            admission prefills inflate this for continuous batching, which
+            is exactly what chunked prefill bounds).
+    """
+
+    policy: str
+    completed: List[CompletedRequest]
+    makespan_s: float
+    generated_tokens: int
+    decode_gaps: List[float] = dataclasses.field(default_factory=list)
+
+    @property
+    def throughput(self) -> float:
+        """Aggregate generated tokens per second over the makespan."""
+        return self.generated_tokens / self.makespan_s
+
+    @property
+    def mean_ttft_s(self) -> float:
+        """Mean arrival-to-first-token latency."""
+        return sum(r.ttft_s for r in self.completed) / len(self.completed)
+
+    @property
+    def p95_ttft_s(self) -> float:
+        """95th-percentile TTFT."""
+        ttfts = sorted(r.ttft_s for r in self.completed)
+        return ttfts[min(len(ttfts) - 1, int(0.95 * len(ttfts)))]
+
+    @property
+    def mean_e2e_s(self) -> float:
+        """Mean arrival-to-completion latency."""
+        return sum(r.e2e_s for r in self.completed) / len(self.completed)
+
+    @property
+    def max_decode_gap_s(self) -> float:
+        """Worst stall between consecutive tokens of a running sequence."""
+        return max(self.decode_gaps) if self.decode_gaps else 0.0
+
+    @property
+    def p95_decode_gap_s(self) -> float:
+        """95th-percentile inter-token gap."""
+        if not self.decode_gaps:
+            return 0.0
+        gaps = sorted(self.decode_gaps)
+        return gaps[min(len(gaps) - 1, int(0.95 * len(gaps)))]
+
+
+@dataclasses.dataclass
+class _Running:
+    request: ArrivingRequest
+    start_s: float
+    first_token_s: float
+    generated: int  # tokens produced so far (prefill's counts as 1)
+
+    @property
+    def kv_len(self) -> int:
+        return self.request.input_len + self.generated
+
+    @property
+    def done(self) -> bool:
+        return self.generated >= self.request.output_len
+
+
+@dataclasses.dataclass
+class _Prefilling:
+    """Admission whose prompt is still being prefilled chunk by chunk."""
+
+    request: ArrivingRequest
+    start_s: float
+    remaining: int
+
+
+class BatchingSimulator:
+    """Serves an arrival stream under a batching policy.
+
+    Args:
+        platform: Execution platform (CPU path; GPUs must fit the model).
+        model: Served model.
+        max_batch: Maximum concurrent sequences.
+        config: Engine configuration for CPU platforms.
+    """
+
+    def __init__(self, platform: Platform, model: ModelConfig,
+                 max_batch: int = 8,
+                 config: EngineConfig = DEFAULT_ENGINE_CONFIG):
+        require_positive(max_batch, "max_batch")
+        self.platform = platform
+        self.model = model
+        self.max_batch = max_batch
+        sizing = InferenceRequest(batch_size=max_batch, input_len=512,
+                                  output_len=64)
+        simulator = InferenceSimulator(platform, config)
+        if not simulator.fits(self.model, sizing):
+            # The serving simulator models in-memory execution only;
+            # over-capacity GPU serving must go through the offloading
+            # engine's sequential-rate estimate instead.
+            from repro.engine.inference import MemoryCapacityError
+            raise MemoryCapacityError(
+                f"{model.name} does not fit {platform.name} at "
+                f"batch {max_batch}; the batching simulator covers "
+                "in-memory serving only")
+        self._executor: OperatorExecutor = simulator._executor(model, sizing)
+
+    # -- cost primitives ----------------------------------------------------
+
+    def _prefill_time(self, batch_size: int, input_len: int) -> float:
+        ops = prefill_ops(self.model, batch_size, input_len, DType.BF16)
+        return sum(t.time_s for t in self._executor.time_ops(ops))
+
+    def _decode_iteration_time(self, batch_size: int, kv_len: int) -> float:
+        ops = decode_step_ops(self.model, batch_size, max(1, kv_len),
+                              DType.BF16)
+        return sum(t.time_s for t in self._executor.time_ops(ops))
+
+    # -- static batching ------------------------------------------------------
+
+    def run_static(self, arrivals: Sequence[ArrivingRequest]) -> ServingReport:
+        """FasterTransformer-style: batch runs to completion, then re-admit."""
+        queue = sorted(arrivals, key=lambda r: r.arrival_s)
+        now = 0.0
+        completed: List[CompletedRequest] = []
+        generated = 0
+        index = 0
+        while index < len(queue):
+            # Wait for at least one request.
+            now = max(now, queue[index].arrival_s)
+            batch: List[ArrivingRequest] = []
+            while (index < len(queue) and len(batch) < self.max_batch
+                   and queue[index].arrival_s <= now):
+                batch.append(queue[index])
+                index += 1
+            start = now
+            max_input = max(r.input_len for r in batch)
+            max_output = max(r.output_len for r in batch)
+            first_token = start + self._prefill_time(len(batch), max_input)
+            now = first_token
+            finish_by_id: Dict[int, float] = {}
+            for step in range(max_output - 1):
+                now += self._decode_iteration_time(len(batch),
+                                                   max_input + step)
+                for request in batch:
+                    if request.output_len == step + 2:
+                        finish_by_id[request.request_id] = now
+            for request in batch:
+                # Static batching holds every sequence until its own last
+                # token; single-token requests finish at first token.
+                finish = finish_by_id.get(request.request_id, first_token)
+                completed.append(CompletedRequest(
+                    request_id=request.request_id,
+                    arrival_s=request.arrival_s,
+                    start_s=start,
+                    first_token_s=first_token,
+                    finish_s=finish,
+                ))
+                generated += request.output_len
+        completed.sort(key=lambda r: r.finish_s)
+        return ServingReport("static", completed,
+                             makespan_s=max(r.finish_s for r in completed),
+                             generated_tokens=generated)
+
+    # -- continuous batching --------------------------------------------------
+
+    def run_continuous(self,
+                       arrivals: Sequence[ArrivingRequest]) -> ServingReport:
+        """Orca-style iteration-level scheduling with immediate admission."""
+        queue = sorted(arrivals, key=lambda r: r.arrival_s)
+        index = 0
+        now = 0.0
+        running: List[_Running] = []
+        completed: List[CompletedRequest] = []
+        gaps: List[float] = []
+        generated = 0
+
+        while index < len(queue) or running:
+            if not running and index < len(queue):
+                now = max(now, queue[index].arrival_s)
+            # Admit everything that has arrived, up to capacity; each
+            # admission pays its prefill pass (chunked-prefill systems
+            # interleave this; we charge it serially, which is the
+            # conservative choice for continuous batching). While an
+            # admission prefill runs, already-running sequences stall —
+            # the inter-token gap chunked prefill exists to bound.
+            stall = 0.0
+            while (index < len(queue) and len(running) < self.max_batch
+                   and queue[index].arrival_s <= now):
+                request = queue[index]
+                index += 1
+                start = now
+                prefill = self._prefill_time(1, request.input_len)
+                now += prefill
+                if running:
+                    stall += prefill
+                running.append(_Running(request=request, start_s=start,
+                                        first_token_s=now, generated=1))
+            # Retire sequences that are already done (output_len == 1).
+            running, retired = self._retire(running, now)
+            for seq in retired:
+                completed.append(self._complete(seq, now))
+                generated += seq.request.output_len
+            if not running:
+                continue
+            # One decode iteration for the whole running set.
+            mean_kv = int(sum(seq.kv_len for seq in running) / len(running))
+            iteration = self._decode_iteration_time(len(running), mean_kv)
+            now += iteration
+            gaps.append(stall + iteration)
+            for seq in running:
+                seq.generated += 1
+        completed.sort(key=lambda r: r.finish_s)
+        return ServingReport("continuous", completed,
+                             makespan_s=max(r.finish_s for r in completed),
+                             generated_tokens=generated,
+                             decode_gaps=gaps)
+
+    # -- chunked prefill --------------------------------------------------------
+
+    def run_chunked(self, arrivals: Sequence[ArrivingRequest],
+                    chunk_tokens: int = 256) -> ServingReport:
+        """Sarathi-style chunked prefill fused with decode iterations.
+
+        Admission prefills are split into *chunk_tokens*-sized pieces; each
+        scheduler iteration runs one decode step for the running set plus
+        at most one prefill chunk, so no running sequence ever stalls
+        longer than one fused iteration — "dynamically batching without
+        stalling ongoing decode" (paper Section VII-C on Sarathi-Serve).
+        """
+        require_positive(chunk_tokens, "chunk_tokens")
+        queue = sorted(arrivals, key=lambda r: r.arrival_s)
+        index = 0
+        now = 0.0
+        running: List[_Running] = []
+        pending: List[_Prefilling] = []
+        completed: List[CompletedRequest] = []
+        gaps: List[float] = []
+        generated = 0
+
+        while index < len(queue) or running or pending:
+            if not running and not pending and index < len(queue):
+                now = max(now, queue[index].arrival_s)
+            while (index < len(queue)
+                   and len(running) + len(pending) < self.max_batch
+                   and queue[index].arrival_s <= now):
+                request = queue[index]
+                index += 1
+                pending.append(_Prefilling(request=request, start_s=now,
+                                           remaining=request.input_len))
+            iteration = 0.0
+            # One prefill chunk for the oldest pending admission.
+            if pending:
+                job = pending[0]
+                chunk = min(chunk_tokens, job.remaining)
+                iteration += self._prefill_time(1, chunk)
+                job.remaining -= chunk
+                if job.remaining == 0:
+                    pending.pop(0)
+                    running.append(_Running(
+                        request=job.request, start_s=job.start_s,
+                        first_token_s=now + iteration, generated=1))
+            # One decode iteration for the running set.
+            decode_cohort = [seq for seq in running if not seq.done]
+            if decode_cohort:
+                mean_kv = int(sum(seq.kv_len for seq in decode_cohort)
+                              / len(decode_cohort))
+                iteration += self._decode_iteration_time(
+                    len(decode_cohort), mean_kv)
+            if iteration == 0.0:
+                # Nothing to do: jump to the next arrival.
+                if index < len(queue):
+                    now = max(now, queue[index].arrival_s)
+                continue
+            now += iteration
+            if decode_cohort:
+                gaps.append(iteration)
+                for seq in decode_cohort:
+                    seq.generated += 1
+            running, retired = self._retire(running, now)
+            for seq in retired:
+                completed.append(self._complete(seq, now))
+                generated += seq.request.output_len
+        completed.sort(key=lambda r: r.finish_s)
+        return ServingReport("chunked", completed,
+                             makespan_s=max(r.finish_s for r in completed),
+                             generated_tokens=generated,
+                             decode_gaps=gaps)
+
+    @staticmethod
+    def _retire(running: List[_Running], now: float):
+        """Split the running set into (still running, finished)."""
+        still: List[_Running] = []
+        retired: List[_Running] = []
+        for seq in running:
+            (retired if seq.done else still).append(seq)
+        return still, retired
+
+    @staticmethod
+    def _complete(seq: _Running, now: float) -> CompletedRequest:
+        return CompletedRequest(
+            request_id=seq.request.request_id,
+            arrival_s=seq.request.arrival_s,
+            start_s=seq.start_s,
+            first_token_s=seq.first_token_s,
+            finish_s=now,
+        )

@@ -1,0 +1,13 @@
+"""Speculative-decoding extension (paper ref [37], SpecInfer)."""
+
+from repro.specdecode.model import (
+    SpecDecodeConfig,
+    SpecDecodeEstimate,
+    SpeculativeDecoder,
+)
+
+__all__ = [
+    "SpecDecodeConfig",
+    "SpecDecodeEstimate",
+    "SpeculativeDecoder",
+]

@@ -1,0 +1,53 @@
+"""Shared utilities: unit constants, validation helpers, and table formatting.
+
+These helpers are deliberately dependency-free so every other subpackage can
+import them without cycles.
+"""
+
+from repro.utils.formatting import format_row, format_table, normalize_series
+from repro.utils.units import (
+    GB,
+    GHZ,
+    GIB,
+    KB,
+    KIB,
+    MB,
+    MIB,
+    MS,
+    TB,
+    TFLOPS,
+    US,
+    bytes_to_gb,
+    bytes_to_gib,
+    gb_per_s,
+    seconds_to_ms,
+)
+from repro.utils.validation import (
+    require_in,
+    require_non_negative,
+    require_positive,
+)
+
+__all__ = [
+    "GB",
+    "GHZ",
+    "GIB",
+    "KB",
+    "KIB",
+    "MB",
+    "MIB",
+    "MS",
+    "TB",
+    "TFLOPS",
+    "US",
+    "bytes_to_gb",
+    "bytes_to_gib",
+    "gb_per_s",
+    "seconds_to_ms",
+    "format_row",
+    "format_table",
+    "normalize_series",
+    "require_in",
+    "require_non_negative",
+    "require_positive",
+]

@@ -1,0 +1,36 @@
+"""Synthetic workload generation and serving estimation."""
+
+from repro.workloads.generator import (
+    PRESET_WORKLOADS,
+    WorkloadSpec,
+    batch_analytics_workload,
+    chatbot_workload,
+    generate_requests,
+    total_tokens,
+    translation_workload,
+)
+from repro.workloads.serving import ServingStats, serve
+from repro.workloads.traces import (
+    Trace,
+    load_trace,
+    merge_traces,
+    save_trace,
+    synthesize_trace,
+)
+
+__all__ = [
+    "PRESET_WORKLOADS",
+    "ServingStats",
+    "Trace",
+    "WorkloadSpec",
+    "load_trace",
+    "merge_traces",
+    "save_trace",
+    "synthesize_trace",
+    "batch_analytics_workload",
+    "chatbot_workload",
+    "generate_requests",
+    "serve",
+    "total_tokens",
+    "translation_workload",
+]

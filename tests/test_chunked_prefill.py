@@ -1,0 +1,73 @@
+"""Chunked-prefill scheduling tests (Sarathi-style)."""
+
+import pytest
+
+from repro.hardware.registry import get_platform
+from repro.models.registry import get_model
+from repro.serving.arrivals import poisson_arrivals
+from repro.serving.scheduler import BatchingSimulator
+from repro.workloads.generator import translation_workload
+
+
+@pytest.fixture(scope="module")
+def simulator():
+    return BatchingSimulator(get_platform("spr"), get_model("llama2-7b"),
+                             max_batch=8)
+
+
+@pytest.fixture(scope="module")
+def arrivals():
+    # Long prompts maximize admission-stall pressure.
+    return poisson_arrivals(1.0, 16, translation_workload(), seed=4)
+
+
+class TestChunkedPrefill:
+    def test_all_requests_complete(self, simulator, arrivals):
+        report = simulator.run_chunked(arrivals)
+        assert len(report.completed) == len(arrivals)
+        assert report.generated_tokens == sum(
+            r.output_len for r in arrivals)
+
+    def test_bounds_worst_gap(self, simulator, arrivals):
+        continuous = simulator.run_continuous(arrivals)
+        chunked = simulator.run_chunked(arrivals, chunk_tokens=128)
+        assert chunked.max_decode_gap_s < continuous.max_decode_gap_s
+
+    def test_smaller_chunks_tighter_bound(self, simulator, arrivals):
+        coarse = simulator.run_chunked(arrivals, chunk_tokens=256)
+        fine = simulator.run_chunked(arrivals, chunk_tokens=32)
+        assert fine.max_decode_gap_s <= coarse.max_decode_gap_s * 1.05
+
+    def test_throughput_cost_is_modest(self, simulator, arrivals):
+        continuous = simulator.run_continuous(arrivals)
+        chunked = simulator.run_chunked(arrivals, chunk_tokens=128)
+        assert chunked.throughput > 0.85 * continuous.throughput
+
+    def test_lifecycle_ordering(self, simulator, arrivals):
+        report = simulator.run_chunked(arrivals)
+        for record in report.completed:
+            assert record.arrival_s <= record.start_s
+            assert record.start_s < record.first_token_s <= record.finish_s
+
+    def test_policy_label(self, simulator, arrivals):
+        assert simulator.run_chunked(arrivals).policy == "chunked"
+
+    def test_rejects_zero_chunk(self, simulator, arrivals):
+        with pytest.raises(ValueError):
+            simulator.run_chunked(arrivals, chunk_tokens=0)
+
+    def test_deterministic(self, simulator, arrivals):
+        a = simulator.run_chunked(arrivals)
+        b = simulator.run_chunked(arrivals)
+        assert a.makespan_s == b.makespan_s
+
+
+class TestGapTracking:
+    def test_continuous_records_gaps(self, simulator, arrivals):
+        report = simulator.run_continuous(arrivals)
+        assert report.decode_gaps
+        assert report.p95_decode_gap_s <= report.max_decode_gap_s
+
+    def test_static_has_no_gap_tracking(self, simulator, arrivals):
+        report = simulator.run_static(arrivals)
+        assert report.max_decode_gap_s == 0.0

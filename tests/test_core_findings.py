@@ -1,0 +1,51 @@
+"""Key Finding validators — the paper's conclusions must hold on the simulator."""
+
+import pytest
+
+from repro.core.findings import (
+    check_all_findings,
+    check_finding_1,
+    check_finding_2,
+    check_finding_3,
+    check_finding_4,
+    check_finding_5,
+)
+
+
+@pytest.fixture(scope="module")
+def all_findings():
+    return {f.finding_id: f for f in check_all_findings()}
+
+
+class TestKeyFindings:
+    def test_finding_1_spr_beats_icl(self, all_findings):
+        assert all_findings[1].holds, all_findings[1].detail
+
+    def test_finding_2_quad_flat_best(self, all_findings):
+        assert all_findings[2].holds, all_findings[2].detail
+
+    def test_finding_3_48_cores_optimal(self, all_findings):
+        assert all_findings[3].holds, all_findings[3].detail
+
+    def test_finding_4_cpu_wins_offloaded(self, all_findings):
+        assert all_findings[4].holds, all_findings[4].detail
+
+    def test_finding_5_h100_seqlen_crossover(self, all_findings):
+        assert all_findings[5].holds, all_findings[5].detail
+
+    def test_all_five_present(self, all_findings):
+        assert set(all_findings) == {1, 2, 3, 4, 5}
+
+    def test_details_are_informative(self, all_findings):
+        for finding in all_findings.values():
+            assert len(finding.detail) > 20
+            assert finding.statement
+
+
+class TestIndividualCheckers:
+    def test_checkers_return_consistent_ids(self):
+        assert check_finding_1().finding_id == 1
+        assert check_finding_2().finding_id == 2
+        assert check_finding_3().finding_id == 3
+        assert check_finding_4().finding_id == 4
+        assert check_finding_5().finding_id == 5

@@ -1,0 +1,90 @@
+"""Metric-helper tests."""
+
+import pytest
+
+from repro.core.metrics import (
+    ALL_METRICS,
+    LATENCY_METRICS,
+    THROUGHPUT_METRICS,
+    arithmetic_mean,
+    average_summaries,
+    geometric_mean,
+    is_latency_metric,
+    latency_reduction_pct,
+    normalize_summary,
+    speedup,
+)
+
+
+class TestMetricSets:
+    def test_six_metrics(self):
+        assert len(ALL_METRICS) == 6
+        assert set(LATENCY_METRICS) | set(THROUGHPUT_METRICS) == set(ALL_METRICS)
+
+    def test_latency_classification(self):
+        assert is_latency_metric("e2e_s")
+        assert not is_latency_metric("e2e_throughput")
+
+
+class TestMeans:
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geometric_mean_of_ratios(self):
+        assert geometric_mean([0.5, 2.0]) == pytest.approx(1.0)
+
+    def test_geometric_mean_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_geometric_mean_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_arithmetic_mean(self):
+        assert arithmetic_mean([1.0, 3.0]) == 2.0
+
+
+class TestAverageSummaries:
+    def test_averages_each_metric(self):
+        rows = [
+            {m: 1.0 for m in ALL_METRICS},
+            {m: 3.0 for m in ALL_METRICS},
+        ]
+        avg = average_summaries(rows)
+        assert all(v == 2.0 for v in avg.values())
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            average_summaries([])
+
+
+class TestNormalize:
+    def test_divides_by_baseline(self):
+        out = normalize_summary({"e2e_s": 2.0}, {"e2e_s": 4.0})
+        assert out["e2e_s"] == 0.5
+
+    def test_missing_baseline_key_skipped(self):
+        out = normalize_summary({"e2e_s": 2.0, "extra": 1.0}, {"e2e_s": 4.0})
+        assert "extra" not in out
+
+    def test_zero_baseline_maps_to_one(self):
+        out = normalize_summary({"tpot_s": 0.0}, {"tpot_s": 0.0})
+        assert out["tpot_s"] == 1.0
+
+
+class TestReductionSpeedup:
+    def test_paper_style_reduction(self):
+        # "84.1% latency reduction" == 6.3x speedup.
+        assert latency_reduction_pct(6.3, 1.0) == pytest.approx(84.1, abs=0.1)
+
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == 5.0
+
+    def test_reduction_rejects_zero_baseline(self):
+        with pytest.raises(ValueError):
+            latency_reduction_pct(0.0, 1.0)
+
+    def test_speedup_rejects_zero_improved(self):
+        with pytest.raises(ValueError):
+            speedup(1.0, 0.0)

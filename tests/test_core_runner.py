@@ -1,0 +1,93 @@
+"""Run-dispatch and sweep tests."""
+
+import pytest
+
+from repro.core.runner import (
+    CharacterizationSweep,
+    filter_rows,
+    is_offloaded,
+    run_inference,
+)
+from repro.engine.request import InferenceRequest
+from repro.engine.results import InferenceResult
+from repro.hardware.registry import get_platform
+from repro.models.registry import get_model
+from repro.offload.engine import OffloadResult
+
+
+class TestRunInference:
+    def test_cpu_uses_inference_engine(self):
+        result = run_inference(get_platform("spr"), get_model("opt-6.7b"))
+        assert isinstance(result, InferenceResult)
+        assert not is_offloaded(result)
+
+    def test_fitting_gpu_uses_inference_engine(self):
+        result = run_inference(get_platform("a100"), get_model("opt-13b"))
+        assert isinstance(result, InferenceResult)
+
+    def test_oversize_gpu_dispatches_to_offload(self):
+        result = run_inference(get_platform("a100"), get_model("opt-30b"))
+        assert isinstance(result, OffloadResult)
+        assert is_offloaded(result)
+
+    def test_both_result_types_share_metric_surface(self):
+        in_memory = run_inference(get_platform("a100"), get_model("opt-13b"))
+        offloaded = run_inference(get_platform("a100"), get_model("opt-30b"))
+        assert set(in_memory.summary()) == set(offloaded.summary())
+
+
+class TestCharacterizationSweep:
+    def test_full_grid_dimensions(self):
+        sweep = CharacterizationSweep(
+            [get_platform("icl"), get_platform("spr")],
+            [get_model("opt-1.3b"), get_model("opt-6.7b")],
+            batch_sizes=[1, 8])
+        rows = sweep.run()
+        assert len(rows) == 2 * 2 * 2
+
+    def test_rows_carry_coordinates(self):
+        sweep = CharacterizationSweep(
+            [get_platform("spr")], [get_model("opt-1.3b")], [4])
+        row = sweep.run()[0]
+        assert row.model == "OPT-1.3B"
+        assert row.platform == "SPR-Max-9468"
+        assert row.batch_size == 4
+        assert row.input_len == 128
+
+    def test_skip_oversize_drops_infeasible(self):
+        sweep = CharacterizationSweep(
+            [get_platform("spr")], [get_model("opt-175b")], [1])
+        assert sweep.run(skip_oversize=True) == []
+
+    def test_skip_oversize_false_raises(self):
+        sweep = CharacterizationSweep(
+            [get_platform("spr")], [get_model("opt-175b")], [1])
+        with pytest.raises(Exception):
+            sweep.run(skip_oversize=False)
+
+    def test_gpu_rows_marked_offloaded(self):
+        sweep = CharacterizationSweep(
+            [get_platform("a100")], [get_model("opt-30b")], [1])
+        assert sweep.run()[0].offloaded
+
+
+class TestFilterRows:
+    def make_rows(self):
+        sweep = CharacterizationSweep(
+            [get_platform("icl"), get_platform("spr")],
+            [get_model("opt-1.3b")], [1, 8])
+        return sweep.run()
+
+    def test_filter_by_platform(self):
+        rows = filter_rows(self.make_rows(), platform="SPR-Max-9468")
+        assert len(rows) == 2
+        assert all(r.platform == "SPR-Max-9468" for r in rows)
+
+    def test_filter_by_batch(self):
+        rows = filter_rows(self.make_rows(), batch_size=8)
+        assert len(rows) == 2
+
+    def test_filter_compound(self):
+        rows = filter_rows(self.make_rows(), platform="ICL-8352Y",
+                           batch_size=1, model="OPT-1.3B")
+        assert len(rows) == 1

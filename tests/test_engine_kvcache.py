@@ -1,0 +1,92 @@
+"""KV-cache manager tests."""
+
+import pytest
+
+from repro.engine.kvcache import KVCacheManager, KVCacheOverflow
+from repro.models.memory import kv_cache_bytes_per_token
+from repro.models.registry import get_model
+from repro.utils.units import GB
+
+
+def manager(capacity=None):
+    return KVCacheManager(get_model("llama2-13b"), capacity_bytes=capacity)
+
+
+class TestAccounting:
+    def test_starts_empty(self):
+        kv = manager()
+        assert kv.num_sequences == 0
+        assert kv.bytes_used == 0.0
+
+    def test_bytes_per_token_matches_model_math(self):
+        kv = manager()
+        assert kv.bytes_per_token == kv_cache_bytes_per_token(
+            get_model("llama2-13b"))
+
+    def test_allocate_tracks_tokens(self):
+        kv = manager()
+        kv.allocate(128)
+        assert kv.cached_tokens == 128
+        assert kv.bytes_used == pytest.approx(128 * kv.bytes_per_token)
+
+    def test_allocate_batch(self):
+        kv = manager()
+        ids = kv.allocate_batch(4, 128)
+        assert len(ids) == 4
+        assert len(set(ids)) == 4
+        assert kv.cached_tokens == 512
+
+    def test_append_token_grows_one(self):
+        kv = manager()
+        sid = kv.allocate(10)
+        kv.append_token(sid)
+        assert kv.seq_len(sid) == 11
+
+    def test_release_frees_bytes(self):
+        kv = manager()
+        sid = kv.allocate(100)
+        kv.release(sid)
+        assert kv.bytes_used == 0.0
+        assert kv.num_sequences == 0
+
+    def test_release_unknown_raises(self):
+        with pytest.raises(KeyError):
+            manager().release(99)
+
+    def test_append_unknown_raises(self):
+        with pytest.raises(KeyError):
+            manager().append_token(99)
+
+
+class TestBudget:
+    def test_overflow_on_allocate(self):
+        kv = manager(capacity=1 * GB)
+        tokens_that_fit = int(1 * GB / kv.bytes_per_token)
+        with pytest.raises(KVCacheOverflow):
+            kv.allocate(tokens_that_fit + 1)
+
+    def test_overflow_on_append(self):
+        kv = manager(capacity=1 * GB)
+        tokens = int(1 * GB / kv.bytes_per_token)
+        sid = kv.allocate(tokens)
+        with pytest.raises(KVCacheOverflow):
+            kv.append_token(sid)
+
+    def test_unbounded_never_overflows(self):
+        kv = manager()
+        kv.allocate(10_000_000)
+
+    def test_would_fit(self):
+        kv = manager(capacity=1 * GB)
+        assert kv.would_fit(1, 100)
+        assert not kv.would_fit(1000, 100_000)
+
+    def test_would_fit_accounts_existing(self):
+        kv = manager(capacity=1 * GB)
+        tokens = int(0.9 * GB / kv.bytes_per_token)
+        kv.allocate(tokens)
+        assert not kv.would_fit(1, tokens)
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            manager(capacity=0)

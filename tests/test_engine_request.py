@@ -1,0 +1,57 @@
+"""Inference-request tests."""
+
+import pytest
+
+from repro.engine.request import (
+    EVALUATED_BATCH_SIZES,
+    EVALUATED_INPUT_LENGTHS,
+    PAPER_DEFAULT_REQUEST,
+    InferenceRequest,
+)
+
+
+class TestPaperDefaults:
+    def test_default_shape_is_128_in_32_out(self):
+        assert PAPER_DEFAULT_REQUEST.input_len == 128
+        assert PAPER_DEFAULT_REQUEST.output_len == 32
+        assert PAPER_DEFAULT_REQUEST.batch_size == 1
+
+    def test_batch_sweep_is_1_to_32(self):
+        assert EVALUATED_BATCH_SIZES == (1, 2, 4, 8, 16, 32)
+
+    def test_input_length_sweep(self):
+        assert EVALUATED_INPUT_LENGTHS == (128, 256, 512, 1024)
+
+
+class TestDerived:
+    def test_total_generated_tokens(self):
+        req = InferenceRequest(batch_size=4, output_len=32)
+        assert req.total_generated_tokens == 128
+
+    def test_decode_steps_excludes_prefill_token(self):
+        assert InferenceRequest(output_len=32).decode_steps == 31
+
+    def test_single_token_has_no_decode(self):
+        assert InferenceRequest(output_len=1).decode_steps == 0
+
+    def test_max_seq_len(self):
+        req = InferenceRequest(input_len=128, output_len=32)
+        assert req.max_seq_len == 160
+
+
+class TestValidation:
+    def test_rejects_zero_batch(self):
+        with pytest.raises(ValueError):
+            InferenceRequest(batch_size=0)
+
+    def test_rejects_zero_input(self):
+        with pytest.raises(ValueError):
+            InferenceRequest(input_len=0)
+
+    def test_rejects_zero_output(self):
+        with pytest.raises(ValueError):
+            InferenceRequest(output_len=0)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            PAPER_DEFAULT_REQUEST.batch_size = 2

@@ -1,0 +1,86 @@
+"""Experiment-registry and content tests.
+
+The full per-figure assertions live in ``benchmarks/``; here we verify the
+registry machinery and a representative slice of content invariants.
+"""
+
+import pytest
+
+from repro.core.report import ExperimentReport
+from repro.experiments import (
+    all_experiment_ids,
+    run_experiment,
+)
+from repro.experiments.base import register
+
+EXPECTED_IDS = {
+    # Paper artifacts.
+    "fig1", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+    "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
+    "fig20", "fig21", "table1", "table2", "findings", "sec6",
+    # Extensions and ablations.
+    "ablation_amx_hbm", "ablation_quant", "ablation_zigzag",
+    "whatif_gh200", "whatif_cost", "whatif_energy", "ext_serving",
+    "ext_paged_kv", "ext_specdecode", "ext_tp", "ext_chunked",
+    "ext_pp_vs_tp", "ext_slo", "ext_disagg", "ext_tenancy",
+    "ext_longcontext", "ablation_fused_attention", "ext_prefix_cache",
+    "ext_quant_matrix", "ext_moe", "ext_batch_knee", "whatif_future_cpu", "ext_provisioning",
+    "calibration", "sensitivity", "advisor",
+}
+
+
+class TestRegistry:
+    def test_every_paper_artifact_registered(self):
+        assert set(all_experiment_ids()) == EXPECTED_IDS
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            run_experiment("fig99")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            @register("fig1")
+            def dup():  # pragma: no cover - never runs
+                raise AssertionError
+
+    def test_reports_have_consistent_shape(self):
+        for eid in ("fig1", "fig6", "table1"):
+            report = run_experiment(eid)
+            assert isinstance(report, ExperimentReport)
+            assert report.experiment_id == eid
+            assert report.rows, f"{eid} produced no rows"
+            for row in report.rows:
+                assert len(row) == len(report.headers)
+
+
+class TestRepresentativeContent:
+    def test_fig1_platform_order(self):
+        report = run_experiment("fig1")
+        last = report.rows[-1]  # largest GEMM
+        icl, spr, a100, h100 = last[1], last[2], last[3], last[4]
+        assert h100 > a100 > spr > icl
+
+    def test_fig6_monotone_in_model_size(self):
+        report = run_experiment("fig6")
+        sizes = [row[1] for row in report.rows]
+        assert sizes == sorted(sizes)
+
+    def test_fig7_linear_rows(self):
+        report = run_experiment("fig7")
+        # Column batch=32 is 32x column batch=1 (pure linearity).
+        for row in report.rows:
+            assert row[5] == pytest.approx(32 * row[1], rel=1e-6)
+
+    def test_fig13_quad_flat_wins(self):
+        report = run_experiment("fig13")
+        e2e = {row[0]: row[1] for row in report.rows}
+        assert min(e2e, key=e2e.get) == "quad_flat"
+
+    def test_fig18_shares_sum_to_100(self):
+        report = run_experiment("fig18")
+        for row in report.rows:
+            assert row[3] + row[4] == pytest.approx(100.0)
+
+    def test_findings_all_hold(self):
+        report = run_experiment("findings")
+        assert all(row[2] == "HOLDS" for row in report.rows)

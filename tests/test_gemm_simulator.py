@@ -1,0 +1,94 @@
+"""GEMM-simulator tests, including Fig. 1 shape checks."""
+
+import pytest
+
+from repro.gemm.simulator import GemmSimulator, sweep_square_gemm
+from repro.hardware.datatypes import DType
+from repro.hardware.registry import get_platform
+
+
+class TestGemmSimulator:
+    def test_time_positive(self):
+        sim = GemmSimulator(get_platform("spr"))
+        assert sim.time(128, 128, 128).time_s > 0
+
+    def test_throughput_below_peak(self):
+        spr = get_platform("spr")
+        sim = GemmSimulator(spr)
+        tp = sim.throughput_tflops(8192, 8192, 8192)
+        assert tp < spr.peak_flops(DType.BF16) / 1e12
+
+    def test_large_gemm_compute_bound(self):
+        sim = GemmSimulator(get_platform("spr"))
+        assert not sim.time(8192, 8192, 8192).memory_bound
+
+    def test_gemv_memory_bound(self):
+        sim = GemmSimulator(get_platform("spr"))
+        assert sim.time(1, 8192, 8192).memory_bound
+
+    def test_spr_dispatches_large_gemm_to_amx(self):
+        sim = GemmSimulator(get_platform("spr"))
+        assert sim.time(4096, 4096, 4096).engine.name == "AMX"
+
+    def test_bandwidth_override(self):
+        spr = get_platform("spr")
+        slow = GemmSimulator(spr, bandwidth_override=1e9)
+        fast = GemmSimulator(spr, bandwidth_override=1e12)
+        assert slow.time(1, 4096, 4096).time_s > fast.time(1, 4096, 4096).time_s
+
+    def test_compute_scale_speeds_compute_bound_gemm(self):
+        spr = get_platform("spr")
+        full = GemmSimulator(spr).time(8192, 8192, 8192).time_s
+        quarter = GemmSimulator(spr, compute_scale=0.25).time(
+            8192, 8192, 8192).time_s
+        assert quarter > 2 * full
+
+    def test_bytes_override_changes_memory_leg(self):
+        sim = GemmSimulator(get_platform("spr"))
+        default = sim.time(1, 4096, 4096)
+        heavier = sim.time(1, 4096, 4096,
+                           bytes_override=default.bytes_moved * 10)
+        assert heavier.time_s > default.time_s
+
+    def test_unsupported_dtype_raises(self):
+        with pytest.raises(ValueError, match="no engine supporting"):
+            GemmSimulator(get_platform("spr"), DType.FP16)
+
+    def test_rejects_zero_dims(self):
+        with pytest.raises(ValueError):
+            GemmSimulator(get_platform("spr")).time(0, 1, 1)
+
+
+class TestFig1Shape:
+    """The orderings Fig. 1 shows must hold."""
+
+    def test_platform_ordering_at_large_size(self):
+        sizes = [8192]
+        results = {key: sweep_square_gemm(get_platform(key), sizes)[0][1]
+                   for key in ("icl", "spr", "a100", "h100")}
+        assert results["h100"] > results["a100"] > results["spr"] > results["icl"]
+
+    def test_spr_within_2x_of_a100_at_large_size(self):
+        spr = sweep_square_gemm(get_platform("spr"), [8192])[0][1]
+        a100 = sweep_square_gemm(get_platform("a100"), [8192])[0][1]
+        assert a100 / spr < 2.0
+
+    def test_spr_amx_near_10x_icl_at_large_size(self):
+        spr = sweep_square_gemm(get_platform("spr"), [8192])[0][1]
+        icl = sweep_square_gemm(get_platform("icl"), [8192])[0][1]
+        assert 6.0 < spr / icl < 13.0
+
+    def test_gpu_advantage_shrinks_at_small_sizes(self):
+        # Kernel-launch overheads and SM underutilization: at 256^3 the
+        # CPU-GPU gap is far smaller than at 8192^3.
+        def ratio(size):
+            h100 = sweep_square_gemm(get_platform("h100"), [size])[0][1]
+            spr = sweep_square_gemm(get_platform("spr"), [size])[0][1]
+            return h100 / spr
+        assert ratio(256) < ratio(8192)
+
+    def test_throughput_monotone_in_size(self):
+        for key in ("icl", "spr", "a100", "h100"):
+            series = [tp for _, tp in sweep_square_gemm(
+                get_platform(key), [256, 512, 1024, 2048, 4096, 8192])]
+            assert series == sorted(series)

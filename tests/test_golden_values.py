@@ -1,0 +1,75 @@
+"""Golden regression tests: pin headline simulated numbers.
+
+Calibration drift is the silent failure mode of a model-based
+reproduction: a well-meaning refactor can shift every figure while all
+shape tests still pass. These tests pin the headline numbers at the
+currently calibrated values (rel=2% tolerance) so any drift is loud.
+If you *intend* to recalibrate, update these values alongside DESIGN.md §5.
+"""
+
+import pytest
+
+from repro.engine.inference import simulate
+from repro.engine.request import InferenceRequest
+from repro.gemm.simulator import GemmSimulator
+from repro.hardware.registry import get_platform
+from repro.models.registry import get_model
+from repro.offload.engine import OffloadSimulator
+
+REL = 0.02
+
+
+class TestGoldenCPU:
+    def test_spr_llama13b_b1_e2e(self):
+        result = simulate(get_platform("spr"), get_model("llama2-13b"),
+                          InferenceRequest(batch_size=1))
+        assert result.e2e_s == pytest.approx(2.018, rel=REL)
+
+    def test_spr_llama13b_b1_ttft(self):
+        result = simulate(get_platform("spr"), get_model("llama2-13b"),
+                          InferenceRequest(batch_size=1))
+        assert result.ttft_s == pytest.approx(0.0675, rel=REL)
+
+    def test_icl_llama13b_b1_e2e(self):
+        result = simulate(get_platform("icl"), get_model("llama2-13b"),
+                          InferenceRequest(batch_size=1))
+        assert result.e2e_s == pytest.approx(9.743, rel=REL)
+
+    def test_spr_opt66b_b1_tpot(self):
+        result = simulate(get_platform("spr"), get_model("opt-66b"),
+                          InferenceRequest(batch_size=1))
+        assert result.tpot_s == pytest.approx(0.5579, rel=REL)
+
+
+class TestGoldenGPU:
+    def test_h100_opt13b_b1_e2e(self):
+        result = simulate(get_platform("h100"), get_model("opt-13b"),
+                          InferenceRequest(batch_size=1))
+        assert result.e2e_s == pytest.approx(0.6457, rel=REL)
+
+    def test_a100_opt30b_offload_e2e(self):
+        result = OffloadSimulator(get_platform("a100")).run(
+            get_model("opt-30b"), InferenceRequest(batch_size=1))
+        assert result.e2e_s == pytest.approx(66.2, rel=REL)
+
+    def test_h100_opt66b_offload_loading_share(self):
+        result = OffloadSimulator(get_platform("h100")).run(
+            get_model("opt-66b"), InferenceRequest(batch_size=32))
+        assert result.loading_share == pytest.approx(0.728, rel=REL)
+
+
+class TestGoldenGemm:
+    def test_spr_amx_8k_gemm(self):
+        throughput = GemmSimulator(get_platform("spr")).throughput_tflops(
+            8192, 8192, 8192)
+        assert throughput == pytest.approx(153.1, rel=REL)
+
+    def test_h100_8k_gemm(self):
+        throughput = GemmSimulator(get_platform("h100")).throughput_tflops(
+            8192, 8192, 8192)
+        assert throughput == pytest.approx(489.2, rel=REL)
+
+    def test_icl_avx_8k_gemm(self):
+        throughput = GemmSimulator(get_platform("icl")).throughput_tflops(
+            8192, 8192, 8192)
+        assert throughput == pytest.approx(15.6, rel=REL)

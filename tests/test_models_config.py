@@ -1,0 +1,100 @@
+"""Model-configuration tests."""
+
+import pytest
+
+from repro.models.config import FFNKind, ModelConfig
+
+
+def make_config(**overrides):
+    defaults = dict(
+        name="Test-1B",
+        family="opt",
+        n_layers=24,
+        d_model=2048,
+        n_heads=32,
+        n_kv_heads=32,
+        d_ff=8192,
+        ffn_kind=FFNKind.RELU_MLP,
+        vocab_size=50272,
+        max_positions=2048,
+        tied_embeddings=True,
+        learned_positional_embeddings=True,
+    )
+    defaults.update(overrides)
+    return ModelConfig(**defaults)
+
+
+class TestValidation:
+    def test_d_model_must_divide_by_heads(self):
+        with pytest.raises(ValueError, match="not divisible"):
+            make_config(d_model=100, n_heads=32)
+
+    def test_heads_must_divide_by_kv_heads(self):
+        with pytest.raises(ValueError, match="not divisible"):
+            make_config(n_heads=32, n_kv_heads=5)
+
+    def test_rejects_zero_layers(self):
+        with pytest.raises(ValueError):
+            make_config(n_layers=0)
+
+
+class TestDerivedShapes:
+    def test_head_dim(self):
+        assert make_config().head_dim == 64
+
+    def test_d_kv_equals_d_model_for_mha(self):
+        assert make_config().d_kv == 2048
+
+    def test_d_kv_smaller_for_gqa(self):
+        gqa = make_config(n_heads=32, n_kv_heads=8)
+        assert gqa.d_kv == 8 * 64
+        assert gqa.uses_gqa
+
+    def test_mha_is_not_gqa(self):
+        assert not make_config().uses_gqa
+
+
+class TestParamCounts:
+    def test_attention_params_mha(self):
+        config = make_config()
+        assert config.attention_params_per_layer() == 4 * 2048 * 2048
+
+    def test_attention_params_gqa_smaller(self):
+        mha = make_config()
+        gqa = make_config(n_kv_heads=8)
+        assert gqa.attention_params_per_layer() < \
+            mha.attention_params_per_layer()
+
+    def test_ffn_params_relu(self):
+        config = make_config()
+        assert config.ffn_params_per_layer() == 2 * 2048 * 8192
+
+    def test_ffn_params_swiglu_uses_three_matrices(self):
+        swiglu = make_config(family="llama2", ffn_kind=FFNKind.SWIGLU,
+                             learned_positional_embeddings=False,
+                             tied_embeddings=False)
+        assert swiglu.ffn_params_per_layer() == 3 * 2048 * 8192
+
+    def test_tied_embeddings_counted_once(self):
+        tied = make_config(tied_embeddings=True)
+        untied = make_config(tied_embeddings=False)
+        assert untied.embedding_params() - tied.embedding_params() == \
+            50272 * 2048
+
+    def test_positional_table_counted_for_opt(self):
+        with_pos = make_config(learned_positional_embeddings=True)
+        without = make_config(learned_positional_embeddings=False)
+        assert with_pos.embedding_params() - without.embedding_params() == \
+            2048 * 2048
+
+    def test_param_count_scales_with_layers(self):
+        small = make_config(n_layers=12)
+        large = make_config(n_layers=24)
+        per_layer = small.params_per_layer()
+        assert large.param_count() - small.param_count() == 12 * per_layer
+
+
+class TestFFNKind:
+    def test_matrix_counts(self):
+        assert FFNKind.RELU_MLP.matrix_count == 2
+        assert FFNKind.SWIGLU.matrix_count == 3

@@ -1,0 +1,127 @@
+"""Operator-graph construction tests: FLOP/byte counts are architecture facts."""
+
+import pytest
+
+from repro.hardware.datatypes import DType
+from repro.models.layers import total_flops, total_weight_bytes
+from repro.models.memory import kv_cache_bytes_per_token, weight_bytes
+from repro.models.opgraph import decode_step_ops, prefill_ops
+from repro.models.registry import get_model
+
+
+class TestPrefillOps:
+    def test_weight_traffic_matches_model_weights(self):
+        # One prefill pass streams every weight matrix exactly once; the
+        # op-graph total must match the model's weight footprint within the
+        # small non-matrix remainder (norms, biases, positional table).
+        model = get_model("opt-13b")
+        ops = prefill_ops(model, batch_size=4, seq_len=128)
+        streamed = total_weight_bytes(ops)
+        assert streamed == pytest.approx(
+            weight_bytes(model, DType.BF16), rel=0.05)
+
+    def test_flops_match_2x_params_per_token(self):
+        # Standard estimate: decoder forward ~ 2 * params FLOPs per token
+        # (plus attention quadratic term, small at seq 128).
+        model = get_model("opt-13b")
+        batch, seq = 2, 128
+        ops = prefill_ops(model, batch, seq)
+        expected = 2.0 * model.param_count() * batch * seq
+        assert total_flops(ops) == pytest.approx(expected, rel=0.10)
+
+    def test_flops_scale_linearly_with_batch(self):
+        model = get_model("llama2-7b")
+        f1 = total_flops(prefill_ops(model, 1, 128))
+        f4 = total_flops(prefill_ops(model, 4, 128))
+        assert f4 == pytest.approx(4 * f1, rel=0.02)
+
+    def test_kv_written_for_all_prompt_tokens(self):
+        model = get_model("llama2-13b")
+        batch, seq = 3, 64
+        ops = prefill_ops(model, batch, seq)
+        written = sum(op.kv_write_bytes for op in ops)
+        assert written == pytest.approx(
+            batch * seq * kv_cache_bytes_per_token(model))
+
+    def test_no_kv_reads_in_prefill(self):
+        ops = prefill_ops(get_model("opt-6.7b"), 2, 128)
+        assert sum(op.kv_read_bytes for op in ops) == 0.0
+
+    def test_attention_flops_quadratic_in_seq(self):
+        model = get_model("opt-6.7b")
+        qk_128 = next(op for op in prefill_ops(model, 1, 128)
+                      if op.name == "attn_qk")
+        qk_256 = next(op for op in prefill_ops(model, 1, 256)
+                      if op.name == "attn_qk")
+        assert qk_256.gemm_flops == pytest.approx(4 * qk_128.gemm_flops,
+                                                  rel=0.05)
+
+    def test_swiglu_has_gate_up_op(self):
+        names = {op.name for op in prefill_ops(get_model("llama2-7b"), 1, 16)}
+        assert "ffn_gate_up" in names and "silu_mul" in names
+
+    def test_relu_mlp_has_up_op(self):
+        names = {op.name for op in prefill_ops(get_model("opt-6.7b"), 1, 16)}
+        assert "ffn_up" in names and "relu" in names
+
+    def test_rejects_zero_batch(self):
+        with pytest.raises(ValueError):
+            prefill_ops(get_model("opt-6.7b"), 0, 128)
+
+
+class TestDecodeStepOps:
+    def test_weight_traffic_matches_model_weights(self):
+        model = get_model("opt-13b")
+        ops = decode_step_ops(model, batch_size=1, kv_len=128)
+        assert total_weight_bytes(ops) == pytest.approx(
+            weight_bytes(model, DType.BF16), rel=0.05)
+
+    def test_kv_read_covers_whole_cache(self):
+        model = get_model("llama2-13b")
+        batch, kv_len = 4, 200
+        ops = decode_step_ops(model, batch, kv_len)
+        read = sum(op.kv_read_bytes for op in ops)
+        expected = batch * (kv_len + 1) * kv_cache_bytes_per_token(model)
+        assert read == pytest.approx(expected, rel=0.01)
+
+    def test_kv_write_one_token_per_sequence(self):
+        model = get_model("llama2-13b")
+        ops = decode_step_ops(model, 8, 128)
+        written = sum(op.kv_write_bytes for op in ops)
+        assert written == pytest.approx(8 * kv_cache_bytes_per_token(model))
+
+    def test_decode_flops_are_2x_params_per_token(self):
+        model = get_model("opt-13b")
+        ops = decode_step_ops(model, 1, 128)
+        assert total_flops(ops) == pytest.approx(
+            2.0 * model.param_count(), rel=0.10)
+
+    def test_decode_arithmetic_intensity_near_batch(self):
+        # At batch b, decode performs ~2*P*b FLOPs over ~2*P weight bytes:
+        # intensity ≈ b FLOPs/byte. This is the paper's memory-bound
+        # argument in one number.
+        model = get_model("opt-13b")
+        for batch in (1, 8):
+            ops = decode_step_ops(model, batch, 128)
+            weights = total_weight_bytes(ops)
+            intensity = total_flops(ops) / weights
+            assert intensity == pytest.approx(batch, rel=0.35)
+
+    def test_gqa_reduces_kv_read(self):
+        llama70 = get_model("llama2-70b")
+        opt66 = get_model("opt-66b")
+        read70 = sum(op.kv_read_bytes
+                     for op in decode_step_ops(llama70, 1, 1024))
+        read66 = sum(op.kv_read_bytes
+                     for op in decode_step_ops(opt66, 1, 1024))
+        assert read70 < read66 / 4  # GQA: 8x fewer KV heads
+
+    def test_per_layer_ops_have_layer_kernel_launches(self):
+        model = get_model("opt-6.7b")
+        qkv = next(op for op in decode_step_ops(model, 1, 64)
+                   if op.name == "qkv_proj")
+        assert qkv.kernel_launches == model.n_layers
+
+    def test_rejects_zero_kv_len(self):
+        with pytest.raises(ValueError):
+            decode_step_ops(get_model("opt-6.7b"), 1, 0)

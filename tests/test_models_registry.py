@@ -1,0 +1,87 @@
+"""Model-registry tests: published hyperparameters and derived sizes."""
+
+import pytest
+
+from repro.models.registry import (
+    EVALUATED_MODEL_NAMES,
+    all_models,
+    evaluated_models,
+    get_model,
+)
+
+
+class TestLookup:
+    def test_known_models(self):
+        assert get_model("opt-13b").name == "OPT-13B"
+        assert get_model("llama2-70b").name == "LLaMA2-70B"
+
+    def test_case_insensitive(self):
+        assert get_model("OPT-13B").name == "OPT-13B"
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown model"):
+            get_model("gpt-4")
+
+    def test_evaluated_models_count_and_order(self):
+        models = evaluated_models()
+        assert len(models) == 8
+        # Ordered by parameter count (figure x-axis order).
+        params = [m.param_count() for m in models]
+        assert params == sorted(params)
+
+    def test_all_models_includes_opt175b(self):
+        assert "opt-175b" in all_models()
+        assert "opt-175b" not in EVALUATED_MODEL_NAMES
+
+
+class TestPublishedHyperparameters:
+    @pytest.mark.parametrize("key,layers,d_model,heads", [
+        ("opt-1.3b", 24, 2048, 32),
+        ("opt-6.7b", 32, 4096, 32),
+        ("opt-13b", 40, 5120, 40),
+        ("opt-30b", 48, 7168, 56),
+        ("opt-66b", 64, 9216, 72),
+        ("opt-175b", 96, 12288, 96),
+        ("llama2-7b", 32, 4096, 32),
+        ("llama2-13b", 40, 5120, 40),
+        ("llama2-70b", 80, 8192, 64),
+    ])
+    def test_architecture(self, key, layers, d_model, heads):
+        model = get_model(key)
+        assert model.n_layers == layers
+        assert model.d_model == d_model
+        assert model.n_heads == heads
+
+    def test_llama70b_uses_gqa_with_8_kv_heads(self):
+        model = get_model("llama2-70b")
+        assert model.n_kv_heads == 8
+        assert model.uses_gqa
+
+    def test_opt_models_are_mha(self):
+        for key in ("opt-13b", "opt-66b"):
+            assert not get_model(key).uses_gqa
+
+    def test_opt_ffn_is_4x(self):
+        model = get_model("opt-13b")
+        assert model.d_ff == 4 * model.d_model
+
+    def test_llama_ffn_dims(self):
+        assert get_model("llama2-7b").d_ff == 11008
+        assert get_model("llama2-70b").d_ff == 28672
+
+
+class TestDerivedParamCounts:
+    @pytest.mark.parametrize("key,billions,tolerance", [
+        ("opt-1.3b", 1.3, 0.15),
+        ("opt-6.7b", 6.7, 0.10),
+        ("opt-13b", 13.0, 0.05),
+        ("opt-30b", 30.0, 0.05),
+        ("opt-66b", 66.0, 0.05),
+        ("opt-175b", 175.0, 0.05),
+        ("llama2-7b", 6.7, 0.05),
+        ("llama2-13b", 13.0, 0.05),
+        ("llama2-70b", 69.0, 0.05),
+    ])
+    def test_param_count_near_nominal(self, key, billions, tolerance):
+        derived = get_model(key).param_count() / 1e9
+        assert derived == pytest.approx(billions, rel=tolerance)

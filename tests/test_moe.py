@@ -1,0 +1,121 @@
+"""Mixture-of-experts model tests."""
+
+import pytest
+
+from repro.engine.inference import simulate
+from repro.engine.request import InferenceRequest
+from repro.hardware.registry import get_platform
+from repro.models.config import FFNKind, ModelConfig
+from repro.models.layers import total_weight_bytes
+from repro.models.opgraph import decode_step_ops, prefill_ops
+from repro.models.registry import get_model
+
+MIXTRAL = get_model("mixtral-8x7b")
+
+
+class TestMoEConfig:
+    def test_mixtral_param_count(self):
+        # Published Mixtral-8x7B size: ~46.7B parameters.
+        assert MIXTRAL.param_count() / 1e9 == pytest.approx(46.7, rel=0.02)
+
+    def test_is_moe(self):
+        assert MIXTRAL.is_moe
+        assert not get_model("llama2-13b").is_moe
+
+    def test_active_fraction_single_token(self):
+        assert MIXTRAL.active_expert_fraction(1) == pytest.approx(2 / 8)
+
+    def test_active_fraction_saturates(self):
+        assert MIXTRAL.active_expert_fraction(64) > 0.99
+
+    def test_active_fraction_monotone(self):
+        values = [MIXTRAL.active_expert_fraction(t) for t in (1, 2, 8, 32)]
+        assert values == sorted(values)
+
+    def test_dense_fraction_is_one(self):
+        assert get_model("opt-13b").active_expert_fraction(1) == 1.0
+
+    def test_top_k_validation(self):
+        with pytest.raises(ValueError, match="top_k"):
+            ModelConfig(
+                name="bad", family="x", n_layers=2, d_model=64, n_heads=4,
+                n_kv_heads=4, d_ff=256, ffn_kind=FFNKind.SWIGLU,
+                vocab_size=100, max_positions=128, tied_embeddings=False,
+                learned_positional_embeddings=False, n_experts=4, top_k=8)
+
+    def test_router_params_counted(self):
+        assert MIXTRAL.router_params_per_layer() == 4096 * 8
+
+
+class TestMoEOpGraph:
+    def test_decode_streams_active_fraction(self):
+        # At batch 1 the FFN weight stream is ~2/8 of all expert weights.
+        ops = decode_step_ops(MIXTRAL, 1, 128)
+        ffn_bytes = sum(op.weight_bytes for op in ops
+                        if op.name.startswith("moe_") and op.is_gemm)
+        full_ffn = (MIXTRAL.ffn_params_per_layer()
+                    + MIXTRAL.router_params_per_layer()) \
+            * MIXTRAL.n_layers * 2
+        assert ffn_bytes / full_ffn == pytest.approx(0.25, abs=0.02)
+
+    def test_weight_traffic_grows_with_batch(self):
+        small = total_weight_bytes(decode_step_ops(MIXTRAL, 1, 128))
+        large = total_weight_bytes(decode_step_ops(MIXTRAL, 32, 128))
+        assert large > 2 * small
+
+    def test_prefill_touches_all_experts(self):
+        # 128 prompt tokens activate essentially every expert.
+        ops = prefill_ops(MIXTRAL, 1, 128)
+        ffn_bytes = sum(op.weight_bytes for op in ops
+                        if op.name.startswith("moe_") and op.is_gemm)
+        full_ffn = MIXTRAL.ffn_params_per_layer() * MIXTRAL.n_layers * 2
+        assert ffn_bytes / full_ffn > 0.99
+
+    def test_router_op_present(self):
+        names = {op.name for op in decode_step_ops(MIXTRAL, 1, 64)}
+        assert "moe_router" in names
+        assert "moe_gate_up" in names and "moe_down" in names
+
+    def test_flops_track_top_k_not_all_experts(self):
+        # Decode FLOPs ~ 2 * (attention + top_k-expert) params per token,
+        # i.e. the ~13B "active" parameters, not all 46.7B.
+        from repro.models.layers import total_flops
+        flops = total_flops(decode_step_ops(MIXTRAL, 1, 128))
+        active_params = (
+            MIXTRAL.param_count()
+            - MIXTRAL.n_layers * MIXTRAL.ffn_params_per_layer()
+            * (1 - MIXTRAL.top_k / MIXTRAL.n_experts))
+        assert flops == pytest.approx(2 * active_params, rel=0.15)
+
+
+class TestMoESimulation:
+    def test_moe_decodes_faster_than_dense_at_batch_1(self):
+        from repro.models.builder import scale_to_params
+        spr = get_platform("spr")
+        request = InferenceRequest(batch_size=1)
+        moe = simulate(spr, MIXTRAL, request)
+        dense = simulate(spr, scale_to_params(47.0), request)
+        assert dense.tpot_s / moe.tpot_s > 2.5
+
+    def test_advantage_shrinks_with_batch(self):
+        from repro.models.builder import scale_to_params
+        spr = get_platform("spr")
+        dense = scale_to_params(47.0)
+
+        def advantage(batch):
+            request = InferenceRequest(batch_size=batch)
+            return (simulate(spr, dense, request).tpot_s
+                    / simulate(spr, MIXTRAL, request).tpot_s)
+
+        # The big small-batch advantage collapses once routing activates
+        # every expert (past batch ~8 it flattens near parity rather than
+        # declining strictly, since both models then stream similar bytes).
+        assert advantage(1) > 2 * advantage(8)
+        assert advantage(1) > 2 * advantage(32)
+        assert advantage(8) < 1.5 and advantage(32) < 1.5
+
+    def test_moe_runs_end_to_end(self):
+        result = simulate(get_platform("spr"), MIXTRAL,
+                          InferenceRequest(batch_size=4))
+        assert result.e2e_s > 0
+        assert result.decode.memory_bound

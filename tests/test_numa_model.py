@@ -1,0 +1,109 @@
+"""NUMA behaviour-model tests (effective bandwidth, capacity, remoteness)."""
+
+import pytest
+
+from repro.hardware.registry import get_platform
+from repro.numa.model import NumaCalibration, NumaModel
+from repro.numa.modes import (
+    HBM_ONLY_QUAD,
+    QUAD_CACHE,
+    QUAD_FLAT,
+    SNC_CACHE,
+    SNC_FLAT,
+)
+from repro.utils.units import GB
+
+
+def model_for(config, **kwargs):
+    return NumaModel(get_platform("spr"), config, **kwargs)
+
+
+class TestCapacity:
+    def test_flat_exposes_hbm_plus_ddr(self):
+        assert model_for(QUAD_FLAT).capacity_bytes == pytest.approx(320 * GB)
+
+    def test_cache_exposes_only_ddr(self):
+        assert model_for(QUAD_CACHE).capacity_bytes == pytest.approx(256 * GB)
+
+    def test_hbm_only_exposes_only_hbm(self):
+        assert model_for(HBM_ONLY_QUAD).capacity_bytes == pytest.approx(64 * GB)
+
+    def test_ddr_only_platform_not_double_counted(self):
+        icl = NumaModel(get_platform("icl"), QUAD_FLAT)
+        assert icl.capacity_bytes == pytest.approx(256 * GB)
+
+
+class TestBandwidthOrdering:
+    """The Fig. 13 ordering must emerge from the model."""
+
+    FOOTPRINT = 30 * GB  # fits in HBM
+
+    def bw(self, config):
+        return model_for(config).effective_bandwidth(self.FOOTPRINT)
+
+    def test_quad_flat_is_best(self):
+        best = self.bw(QUAD_FLAT)
+        for other in (QUAD_CACHE, SNC_CACHE, SNC_FLAT):
+            assert best >= self.bw(other)
+
+    def test_flat_beats_cache(self):
+        assert self.bw(QUAD_FLAT) > self.bw(QUAD_CACHE)
+        assert self.bw(SNC_FLAT) > self.bw(SNC_CACHE)
+
+    def test_quad_beats_snc(self):
+        assert self.bw(QUAD_FLAT) > self.bw(SNC_FLAT)
+        assert self.bw(QUAD_CACHE) > self.bw(SNC_CACHE)
+
+    def test_numa_aware_recovers_snc(self):
+        naive = model_for(SNC_FLAT).effective_bandwidth(self.FOOTPRINT)
+        aware = model_for(SNC_FLAT, numa_aware=True).effective_bandwidth(
+            self.FOOTPRINT)
+        assert aware > naive
+
+
+class TestFlatSpill:
+    def test_bandwidth_drops_past_hbm_capacity(self):
+        numa = model_for(QUAD_FLAT)
+        assert numa.effective_bandwidth(128 * GB) < \
+            numa.effective_bandwidth(32 * GB)
+
+    def test_hbm_only_rejects_oversize(self):
+        with pytest.raises(ValueError, match="exceeds HBM-only capacity"):
+            model_for(HBM_ONLY_QUAD).effective_bandwidth(100 * GB)
+
+
+class TestCacheMode:
+    def test_hit_rate_degrades_past_hbm(self):
+        numa = model_for(QUAD_CACHE)
+        assert numa.effective_bandwidth(200 * GB) < \
+            numa.effective_bandwidth(30 * GB)
+
+    def test_resident_cache_close_to_flat(self):
+        # Within HBM, cache mode loses only the tag/fill overhead.
+        flat = model_for(QUAD_FLAT).effective_bandwidth(30 * GB)
+        cache = model_for(QUAD_CACHE).effective_bandwidth(30 * GB)
+        assert 0.80 < cache / flat < 1.0
+
+
+class TestRemoteAccess:
+    def test_quad_has_tiny_remote_fraction(self):
+        assert model_for(QUAD_FLAT).remote_access_fraction < 0.1
+
+    def test_snc_naive_is_three_quarters(self):
+        assert model_for(SNC_FLAT).remote_access_fraction == pytest.approx(0.75)
+
+    def test_numa_aware_reduces_remote(self):
+        aware = model_for(SNC_FLAT, numa_aware=True)
+        assert aware.remote_access_fraction < 0.3
+
+
+class TestCalibrationValidation:
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            NumaCalibration(cache_mode_overhead=1.5)
+        with pytest.raises(ValueError):
+            NumaCalibration(snc_remote_fraction=-0.1)
+
+    def test_gpu_rejected(self):
+        with pytest.raises(ValueError, match="applies to CPUs"):
+            NumaModel(get_platform("a100"), QUAD_FLAT)

@@ -1,0 +1,54 @@
+"""NUMA topology tests."""
+
+import pytest
+
+from repro.hardware.registry import get_platform
+from repro.numa.modes import ClusteringMode
+from repro.numa.topology import build_nodes, nodes_per_socket
+from repro.utils.units import GB
+
+
+class TestBuildNodes:
+    def test_quadrant_one_node_per_socket(self):
+        nodes = build_nodes(get_platform("spr"), ClusteringMode.QUADRANT)
+        assert len(nodes) == 2  # two sockets
+
+    def test_snc4_four_nodes_per_socket(self):
+        nodes = build_nodes(get_platform("spr"), ClusteringMode.SNC4)
+        assert len(nodes) == 8
+
+    def test_snc_divides_cores_evenly(self):
+        nodes = build_nodes(get_platform("spr"), ClusteringMode.SNC4)
+        assert all(node.cores == 12 for node in nodes)
+
+    def test_snc_divides_hbm_evenly(self):
+        nodes = build_nodes(get_platform("spr"), ClusteringMode.SNC4)
+        assert nodes[0].hbm_bytes == pytest.approx(16 * GB)
+
+    def test_total_bandwidth_preserved(self):
+        platform = get_platform("spr")
+        nodes = build_nodes(platform, ClusteringMode.SNC4)
+        socket0 = [n for n in nodes if n.socket == 0]
+        assert sum(n.hbm_bw for n in socket0) == pytest.approx(
+            platform.memory.tier("HBM").sustained_bw)
+
+    def test_node_ids_unique(self):
+        nodes = build_nodes(get_platform("spr"), ClusteringMode.SNC4)
+        ids = [n.node_id for n in nodes]
+        assert len(set(ids)) == len(ids)
+
+    def test_icl_has_no_hbm(self):
+        nodes = build_nodes(get_platform("icl"), ClusteringMode.QUADRANT)
+        assert nodes[0].hbm_bytes == 0.0
+        assert nodes[0].ddr_bytes > 0
+
+    def test_gpu_rejected(self):
+        with pytest.raises(ValueError, match="not a CPU"):
+            build_nodes(get_platform("a100"), ClusteringMode.QUADRANT)
+
+
+class TestNodesPerSocket:
+    def test_counts(self):
+        topo = get_platform("spr").topology
+        assert nodes_per_socket(ClusteringMode.QUADRANT, topo) == 1
+        assert nodes_per_socket(ClusteringMode.SNC4, topo) == 4

@@ -1,0 +1,103 @@
+"""Offloading-policy tests."""
+
+import pytest
+
+from repro.engine.request import InferenceRequest
+from repro.hardware.registry import get_platform
+from repro.models.memory import weight_bytes
+from repro.models.registry import get_model
+from repro.offload.policy import (
+    OffloadCalibration,
+    make_placement,
+    needs_offloading,
+)
+
+
+class TestNeedsOffloading:
+    def test_small_model_fits_a100(self):
+        assert not needs_offloading(get_model("opt-13b"),
+                                    InferenceRequest(), get_platform("a100"))
+
+    def test_opt30b_overflows_a100(self):
+        # Paper: "the A100 GPU needs to offload model weights and
+        # activations" for OPT-30B.
+        assert needs_offloading(get_model("opt-30b"),
+                                InferenceRequest(), get_platform("a100"))
+
+    def test_opt30b_fits_h100(self):
+        assert not needs_offloading(get_model("opt-30b"),
+                                    InferenceRequest(), get_platform("h100"))
+
+    def test_opt66b_overflows_h100(self):
+        assert needs_offloading(get_model("opt-66b"),
+                                InferenceRequest(), get_platform("h100"))
+
+    def test_kv_growth_can_force_offloading(self):
+        # OPT-13B fits at batch 1 but long-context large-batch KV pushes
+        # the footprint past 40 GB.
+        model = get_model("opt-13b")
+        small = InferenceRequest(batch_size=1)
+        big = InferenceRequest(batch_size=16, input_len=1024)
+        a100 = get_platform("a100")
+        assert not needs_offloading(model, small, a100)
+        assert needs_offloading(model, big, a100)
+
+    def test_cpu_platform_rejected(self):
+        with pytest.raises(ValueError, match="not a GPU"):
+            needs_offloading(get_model("opt-13b"), InferenceRequest(),
+                             get_platform("spr"))
+
+
+class TestMakePlacement:
+    def test_weights_conserved(self):
+        placement = make_placement(get_model("opt-30b"), InferenceRequest(),
+                                   get_platform("a100"))
+        assert placement.weight_bytes_total == pytest.approx(
+            weight_bytes(get_model("opt-30b")))
+
+    def test_resident_bounded_by_budget(self):
+        calibration = OffloadCalibration()
+        gpu = get_platform("a100")
+        placement = make_placement(get_model("opt-66b"), InferenceRequest(),
+                                   gpu, calibration)
+        assert placement.resident_weight_bytes <= \
+            gpu.memory_capacity * calibration.weight_residency_fraction
+
+    def test_small_kv_stays_on_gpu(self):
+        placement = make_placement(get_model("opt-30b"),
+                                   InferenceRequest(batch_size=1),
+                                   get_platform("a100"))
+        assert placement.kv_on_gpu
+
+    def test_huge_kv_moves_to_host(self):
+        placement = make_placement(get_model("opt-30b"),
+                                   InferenceRequest(batch_size=32,
+                                                    input_len=1024),
+                                   get_platform("a100"))
+        assert not placement.kv_on_gpu
+
+    def test_kv_on_gpu_shrinks_weight_budget(self):
+        gpu = get_platform("a100")
+        small_kv = make_placement(get_model("opt-66b"),
+                                  InferenceRequest(batch_size=1), gpu)
+        big_kv = make_placement(get_model("opt-66b"),
+                                InferenceRequest(batch_size=8), gpu)
+        assert small_kv.kv_on_gpu and big_kv.kv_on_gpu
+        assert big_kv.resident_weight_bytes < small_kv.resident_weight_bytes
+
+    def test_resident_fraction(self):
+        placement = make_placement(get_model("opt-30b"), InferenceRequest(),
+                                   get_platform("a100"))
+        assert 0 < placement.resident_fraction < 1
+
+
+class TestCalibrationValidation:
+    def test_rejects_bad_fractions(self):
+        with pytest.raises(ValueError):
+            OffloadCalibration(weight_residency_fraction=0.0)
+        with pytest.raises(ValueError):
+            OffloadCalibration(pcie_efficiency=1.5)
+
+    def test_rejects_bad_host_bw(self):
+        with pytest.raises(ValueError):
+            OffloadCalibration(host_attention_bw=0.0)

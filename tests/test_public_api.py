@@ -1,0 +1,59 @@
+"""Public-API surface tests: everything exported must resolve and work."""
+
+import importlib
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro.core", "repro.engine", "repro.experiments", "repro.gemm",
+    "repro.hardware", "repro.models", "repro.numa", "repro.offload",
+    "repro.optim", "repro.perfcounters", "repro.scaling", "repro.utils",
+    "repro.workloads",
+]
+
+
+class TestTopLevel:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.{name} missing"
+
+    def test_quickstart_snippet_works(self):
+        # The snippet from the package docstring must run as written.
+        result = repro.run_inference(
+            repro.get_platform("spr"), repro.get_model("llama2-13b"),
+            repro.InferenceRequest(batch_size=8))
+        assert result.ttft_s > 0
+        assert result.tpot_s > 0
+        assert result.e2e_throughput > 0
+
+
+class TestSubpackages:
+    @pytest.mark.parametrize("module_name", SUBPACKAGES)
+    def test_imports(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module is not None
+
+    @pytest.mark.parametrize("module_name", SUBPACKAGES)
+    def test_all_exports_resolve(self, module_name):
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{module_name}.{name} missing"
+
+    @pytest.mark.parametrize("module_name", SUBPACKAGES)
+    def test_has_docstring(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__ and len(module.__doc__) > 20
+
+
+class TestPublicDocstrings:
+    def test_key_classes_documented(self):
+        for obj in (repro.InferenceSimulator, repro.OffloadSimulator,
+                    repro.GemmSimulator, repro.CounterModel,
+                    repro.NumaModel, repro.CoreScalingModel,
+                    repro.KVCacheManager, repro.InferenceRequest):
+            assert obj.__doc__ and len(obj.__doc__) > 30

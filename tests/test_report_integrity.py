@@ -1,0 +1,88 @@
+"""Report-integrity checks across the experiment registry.
+
+The benches assert each figure's *claims*; these tests assert the
+*artifacts* are well-formed: every row matches the header width, every
+report renders to text and markdown, every note is a real sentence, and
+ids/titles are consistent. Only the fast experiments run here (the slow
+sweeps are exercised by the benchmark harness).
+"""
+
+import pytest
+
+from repro.core.report import ExperimentReport
+from repro.experiments import run_experiment
+
+FAST_EXPERIMENTS = [
+    "fig1", "fig6", "fig7", "table1", "table2",
+    "fig11", "fig12", "fig15", "fig16", "fig17", "fig18",
+    "ablation_amx_hbm", "ablation_zigzag", "ablation_fused_attention",
+    "whatif_gh200", "whatif_cost", "whatif_energy", "whatif_future_cpu",
+    "ext_paged_kv", "ext_prefix_cache", "ext_moe", "sec6",
+]
+
+
+@pytest.fixture(scope="module")
+def reports():
+    return {eid: run_experiment(eid) for eid in FAST_EXPERIMENTS}
+
+
+class TestReportIntegrity:
+    def test_ids_match(self, reports):
+        for eid, report in reports.items():
+            assert report.experiment_id == eid
+
+    def test_rows_match_header_width(self, reports):
+        for eid, report in reports.items():
+            for row in report.rows:
+                assert len(row) == len(report.headers), \
+                    f"{eid}: row width {len(row)} != {len(report.headers)}"
+
+    def test_every_report_has_rows_and_notes(self, reports):
+        for eid, report in reports.items():
+            assert report.rows, f"{eid} is empty"
+            assert report.notes, f"{eid} has no paper-vs-measured notes"
+            for note in report.notes:
+                assert len(note) > 25, f"{eid}: throwaway note {note!r}"
+
+    def test_titles_are_descriptive(self, reports):
+        for eid, report in reports.items():
+            assert len(report.title) > 15, f"{eid}: title too terse"
+
+    def test_renders_to_text(self, reports):
+        for eid, report in reports.items():
+            text = report.render()
+            assert f"[{eid}]" in text
+            assert "note:" in text
+
+    def test_renders_to_markdown(self, reports):
+        for eid, report in reports.items():
+            md = report.to_markdown()
+            assert md.startswith(f"### {eid}:")
+            # Header row + separator + at least one data row.
+            table_lines = [line for line in md.splitlines()
+                           if line.startswith("|")]
+            assert len(table_lines) >= 3, eid
+
+    def test_numeric_cells_are_finite(self, reports):
+        import math
+        for eid, report in reports.items():
+            for row in report.rows:
+                for cell in row:
+                    if isinstance(cell, float):
+                        assert math.isfinite(cell), \
+                            f"{eid}: non-finite cell {cell} in {row}"
+
+    def test_reports_are_reproducible(self):
+        first = run_experiment("fig1")
+        second = run_experiment("fig1")
+        assert first.rows == second.rows
+
+
+class TestReportTypes:
+    def test_is_experiment_report(self, reports):
+        for report in reports.values():
+            assert isinstance(report, ExperimentReport)
+
+    def test_headers_are_strings(self, reports):
+        for eid, report in reports.items():
+            assert all(isinstance(h, str) for h in report.headers), eid

@@ -1,0 +1,86 @@
+"""Stateful property-based testing of the paged KV cache (hypothesis).
+
+A RuleBasedStateMachine drives random allocate/append/release sequences
+against the paged manager and checks conservation invariants after every
+step: blocks never leak, accounting matches a reference model, and
+utilization stays in (0, 1].
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.engine.paged_kvcache import OutOfBlocks, PagedKVCacheManager
+from repro.models.registry import get_model
+from repro.utils.units import GB
+
+
+class PagedKVMachine(RuleBasedStateMachine):
+    """Random workload against PagedKVCacheManager + a reference model."""
+
+    def __init__(self):
+        super().__init__()
+        self.manager = PagedKVCacheManager(
+            get_model("opt-1.3b"), capacity_bytes=1 * GB, block_tokens=16)
+        self.reference = {}  # seq_id -> token count
+
+    @rule(prompt=st.integers(min_value=1, max_value=500))
+    def allocate(self, prompt):
+        try:
+            seq_id = self.manager.allocate(prompt)
+        except OutOfBlocks:
+            # Must only happen when the pool genuinely lacks blocks.
+            needed = -(-prompt // 16)
+            assert needed > self.manager.allocator.free_blocks
+            return
+        assert seq_id not in self.reference
+        self.reference[seq_id] = prompt
+
+    @precondition(lambda self: self.reference)
+    @rule(data=st.data())
+    def append(self, data):
+        seq_id = data.draw(st.sampled_from(sorted(self.reference)))
+        try:
+            self.manager.append_token(seq_id)
+        except OutOfBlocks:
+            assert self.manager.allocator.free_blocks == 0
+            return
+        self.reference[seq_id] += 1
+
+    @precondition(lambda self: self.reference)
+    @rule(data=st.data())
+    def release(self, data):
+        seq_id = data.draw(st.sampled_from(sorted(self.reference)))
+        self.manager.release(seq_id)
+        del self.reference[seq_id]
+
+    @invariant()
+    def tokens_match_reference(self):
+        assert self.manager.cached_tokens == sum(self.reference.values())
+        assert self.manager.num_sequences == len(self.reference)
+
+    @invariant()
+    def blocks_cover_tokens_exactly(self):
+        expected_blocks = sum(-(-tokens // 16)
+                              for tokens in self.reference.values())
+        assert self.manager.allocator.used_blocks == expected_blocks
+
+    @invariant()
+    def no_block_leaks(self):
+        allocator = self.manager.allocator
+        assert allocator.used_blocks + allocator.free_blocks == \
+            allocator.num_blocks
+
+    @invariant()
+    def utilization_in_unit_interval(self):
+        assert 0.0 < self.manager.utilization <= 1.0
+
+
+TestPagedKVStateful = PagedKVMachine.TestCase
+TestPagedKVStateful.settings = settings(
+    max_examples=30, stateful_step_count=40, deadline=None)

@@ -1,0 +1,72 @@
+"""What-if platform tests: GH200, SPR-noAMX, SPR-noHBM."""
+
+import pytest
+
+from repro.engine.inference import simulate
+from repro.engine.request import InferenceRequest
+from repro.hardware.compute import EngineKind
+from repro.hardware.registry import get_platform
+from repro.hardware.whatif import gh200, spr_without_amx, spr_without_hbm
+from repro.models.registry import get_model
+from repro.offload.engine import OffloadSimulator
+from repro.utils.units import GB, gb_per_s
+
+
+class TestGH200:
+    def test_memory_and_link(self):
+        platform = gh200()
+        assert platform.memory_capacity == pytest.approx(96 * GB)
+        assert platform.host_link.nominal_bw == pytest.approx(gb_per_s(900.0))
+
+    def test_nvlink_slashes_offload_latency(self):
+        # Paper Section V-B: GH200 "would see lower overheads for
+        # offloading ... due to its higher NVLink bandwidth".
+        model = get_model("opt-66b")
+        request = InferenceRequest(batch_size=1)
+        h100 = OffloadSimulator(get_platform("h100")).run(model, request)
+        gh = OffloadSimulator(gh200()).run(model, request)
+        assert gh.e2e_s < h100.e2e_s / 3
+
+    def test_gh200_loading_share_lower(self):
+        model = get_model("opt-66b")
+        request = InferenceRequest(batch_size=1)
+        h100 = OffloadSimulator(get_platform("h100")).run(model, request)
+        gh = OffloadSimulator(gh200()).run(model, request)
+        assert gh.loading_share < h100.loading_share
+
+
+class TestSprAblations:
+    def setup_method(self):
+        self.model = get_model("llama2-13b")
+        self.request = InferenceRequest(batch_size=8)
+        self.stock = simulate(get_platform("spr"), self.model, self.request)
+
+    def test_no_amx_has_only_vector_engines(self):
+        platform = spr_without_amx()
+        assert all(engine.kind is EngineKind.VECTOR
+                   for engine in platform.engines)
+
+    def test_no_amx_hurts_prefill_not_decode(self):
+        ablated = simulate(spr_without_amx(), self.model, self.request)
+        assert ablated.ttft_s > 3 * self.stock.ttft_s
+        assert ablated.tpot_s == pytest.approx(self.stock.tpot_s, rel=0.05)
+
+    def test_no_hbm_hurts_decode_more_than_prefill(self):
+        ablated = simulate(spr_without_hbm(), self.model, self.request)
+        decode_hit = ablated.tpot_s / self.stock.tpot_s
+        prefill_hit = ablated.ttft_s / self.stock.ttft_s
+        assert decode_hit > 2.0
+        assert prefill_hit < decode_hit
+
+    def test_ablations_bracket_icl(self):
+        # Each single-feature ablation still beats ICL (which lacks both
+        # features AND has fewer, older cores).
+        icl = simulate(get_platform("icl"), self.model, self.request)
+        no_amx = simulate(spr_without_amx(), self.model, self.request)
+        no_hbm = simulate(spr_without_hbm(), self.model, self.request)
+        assert no_amx.e2e_s < icl.e2e_s
+        assert no_hbm.e2e_s < icl.e2e_s
+
+    def test_no_hbm_platform_keeps_ddr_capacity(self):
+        platform = spr_without_hbm()
+        assert platform.memory_capacity == pytest.approx(256 * GB)
