@@ -1,0 +1,23 @@
+# Developer entry points. The python toolchain is assumed present; the
+# library itself has no third-party runtime dependencies.
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench bench-figures bench-json
+
+# Tier-1 test suite (must stay green).
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Performance benchmark: fig-8 grid + decode-pricing microbenchmark,
+# recorded in BENCH_sweep.json.
+bench:
+	$(PYTHON) tools/bench.py --json BENCH_sweep.json
+
+bench-json: bench
+
+# Per-figure benchmark harness (pytest-benchmark), including the
+# perf-regression guard in benchmarks/test_perf_regression.py.
+bench-figures:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only

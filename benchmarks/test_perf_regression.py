@@ -1,0 +1,86 @@
+"""Bench: simulator performance regression guard.
+
+Times the analytical decode pricing against the pre-PR per-step loop on
+the paper's fig-8 grid and on one long-decode request, and fails if the
+fast path loses its advantage. The authoritative speedup record lives in
+``BENCH_sweep.json`` (regenerate with ``make bench``); these tests exist
+so a perf regression shows up in the benchmark harness, with generous
+floors to stay robust against machine noise.
+
+Run with::
+
+    pytest benchmarks/test_perf_regression.py --benchmark-only
+"""
+
+import pathlib
+import sys
+import timeit
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "tools"))
+
+import bench  # noqa: E402  (tools/bench.py)
+
+from repro.engine.inference import InferenceSimulator  # noqa: E402
+from repro.engine.request import InferenceRequest  # noqa: E402
+from repro.experiments._sweeps import clear_caches  # noqa: E402
+from repro.hardware.registry import get_platform  # noqa: E402
+from repro.models.registry import get_model  # noqa: E402
+
+# Floors deliberately far below the measured speedups (~11x cold grid,
+# >100x micro on the reference box) so only a real regression trips them.
+MIN_GRID_SPEEDUP = 4.0
+MIN_MICRO_SPEEDUP = 20.0
+
+
+def _baseline_seconds(fn, repeat=3):
+    return min(timeit.repeat(fn, number=1, repeat=repeat))
+
+
+def test_fig8_grid_fast_path(benchmark):
+    cells = bench._grid_cells(quick=False)
+    bench._run_grid(cells, exact=False)  # warm imports and code paths
+
+    def cold_fast():
+        clear_caches()
+        bench._run_grid(cells, exact=False)
+
+    benchmark(cold_fast)
+
+    def baseline():
+        with bench.pre_pr_baseline():
+            bench._run_grid(cells, exact=True)
+
+    exact_s = _baseline_seconds(baseline)
+    fast_s = benchmark.stats.stats.min
+    assert exact_s / fast_s >= MIN_GRID_SPEEDUP, (
+        f"fig-8 grid fast path regressed: {exact_s / fast_s:.1f}x "
+        f"(floor {MIN_GRID_SPEEDUP}x)")
+
+    # The fast path must stay numerically indistinguishable from the loop.
+    clear_caches()
+    err = bench._max_rel_err(bench._run_grid(cells, exact=True),
+                             bench._run_grid(cells, exact=False))
+    assert err <= 1e-9
+
+
+def test_decode_pricing_micro(benchmark):
+    model = get_model("opt-6.7b")
+    sim = InferenceSimulator(get_platform("spr"))
+    request = InferenceRequest(batch_size=4, input_len=128, output_len=512)
+    sim.run(model, request)  # warm
+
+    def cold_fast():
+        clear_caches()
+        sim.run(model, request)
+
+    benchmark(cold_fast)
+
+    def baseline():
+        with bench.pre_pr_baseline():
+            sim.run(model, request, exact=True)
+
+    exact_s = _baseline_seconds(baseline)
+    fast_s = benchmark.stats.stats.min
+    assert exact_s / fast_s >= MIN_MICRO_SPEEDUP, (
+        f"decode pricing fast path regressed: {exact_s / fast_s:.1f}x "
+        f"(floor {MIN_MICRO_SPEEDUP}x)")

@@ -97,6 +97,22 @@ class KVCacheManager:
         self._check_budget(1)
         self._sequences[seq_id].tokens += 1
 
+    def append_tokens(self, seq_ids, n_steps: int) -> None:
+        """Cache *n_steps* generated tokens for each sequence in *seq_ids*.
+
+        Batched equivalent of calling :meth:`append_token` once per
+        sequence per step: the budget is checked for the whole batch up
+        front (all-or-nothing), then every sequence grows by ``n_steps``.
+        """
+        require_positive(n_steps, "n_steps")
+        seq_ids = list(seq_ids)
+        for seq_id in seq_ids:
+            if seq_id not in self._sequences:
+                raise KeyError(f"unknown sequence id {seq_id}")
+        self._check_budget(len(seq_ids) * n_steps)
+        for seq_id in seq_ids:
+            self._sequences[seq_id].tokens += n_steps
+
     def seq_len(self, seq_id: int) -> int:
         """Cached tokens for *seq_id*."""
         return self._sequences[seq_id].tokens

@@ -3,9 +3,17 @@
 Figs. 8, 9 and 10 all slice the same ICL-vs-SPR grid; Figs. 17 and 19
 slice the same CPU-vs-GPU grid. Running each grid once and caching keeps
 the benchmark harness fast without changing any result.
+
+Two environment knobs route the grids through the sweep runner's
+performance machinery (docs/architecture.md, "Performance & caching"):
+
+* ``REPRO_SWEEP_WORKERS`` — price grid cells on N worker processes;
+* ``REPRO_SWEEP_CACHE_DIR`` — persist sweep rows on disk, keyed by
+  (platforms, models, batches, calibration) content hash.
 """
 
-from typing import Dict, List, Tuple
+import os
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.runner import CharacterizationSweep, SweepRow
 from repro.engine.request import EVALUATED_BATCH_SIZES, InferenceRequest
@@ -17,6 +25,23 @@ _CPU_SWEEP_CACHE: List[SweepRow] = []
 _GPU_ROWS_CACHE: Dict[Tuple[int, int], list] = {}
 
 
+def _sweep_workers() -> Optional[int]:
+    """Worker-process count for grid sweeps (None = in-process serial)."""
+    value = os.environ.get("REPRO_SWEEP_WORKERS")
+    if not value:
+        return None
+    try:
+        return int(value)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_SWEEP_WORKERS must be an integer, got {value!r}") from None
+
+
+def _sweep_cache_dir() -> Optional[str]:
+    """On-disk sweep cache directory (None = in-memory caching only)."""
+    return os.environ.get("REPRO_SWEEP_CACHE_DIR") or None
+
+
 def cpu_sweep() -> List[SweepRow]:
     """The Figs. 8-10 grid: 8 models x {ICL, SPR} x batches 1-32."""
     if not _CPU_SWEEP_CACHE:
@@ -24,7 +49,8 @@ def cpu_sweep() -> List[SweepRow]:
             [get_platform("icl"), get_platform("spr")],
             evaluated_models(),
             EVALUATED_BATCH_SIZES)
-        _CPU_SWEEP_CACHE.extend(sweep.run())
+        _CPU_SWEEP_CACHE.extend(sweep.run(workers=_sweep_workers(),
+                                          cache_dir=_sweep_cache_dir()))
     return _CPU_SWEEP_CACHE
 
 
@@ -51,6 +77,18 @@ def cpu_gpu_results(batch_size: int, input_len: int = 128):
 
 
 def clear_caches() -> None:
-    """Reset memoized sweeps (used by tests that tweak calibrations)."""
+    """Reset every memoization layer (for tests that tweak calibrations).
+
+    Clears the in-memory sweep caches *and* the pricing-layer caches
+    (GEMM efficiency, prefill/decode operator graphs) so a subsequent run
+    re-derives everything from current calibration constants. The on-disk
+    sweep cache needs no clearing: its keys hash the calibration inputs,
+    so changed constants simply miss.
+    """
+    from repro.gemm.efficiency import clear_gemm_efficiency_cache
+    from repro.models.opgraph import clear_opgraph_caches
+
     _CPU_SWEEP_CACHE.clear()
     _GPU_ROWS_CACHE.clear()
+    clear_gemm_efficiency_cache()
+    clear_opgraph_caches()

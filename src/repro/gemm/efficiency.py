@@ -19,8 +19,10 @@ hurt GPUs.
 """
 
 import dataclasses
+import functools
+from typing import Optional
 
-from repro.hardware.compute import ComputeEngine, EngineKind, tiles_needed
+from repro.hardware.compute import ComputeEngine, EngineKind, TileShape, tiles_needed
 from repro.utils.validation import require_positive
 
 
@@ -90,6 +92,28 @@ def tile_utilization(engine: ComputeEngine, m: int, n: int, k: int) -> float:
     return (m * n * k) / padded
 
 
+@functools.lru_cache(maxsize=131072)
+def _gemm_efficiency_cached(kind: EngineKind, tile: Optional[TileShape],
+                            m: int, n: int, k: int) -> float:
+    """Memoized curve evaluation; the curve depends only on (kind, tile).
+
+    Sweeps re-issue identical GEMM shapes thousands of times (every decode
+    step of every batch/model cell shares projections and FFN shapes), so
+    this cache removes the dominant repeated arithmetic from pricing.
+    """
+    curve = _CURVES[kind]
+    if tile is not None:
+        tm, tn, tk = tiles_needed(tile, m, n, k)
+        padded_m, padded_n, padded_k = tm * tile.m, tn * tile.n, tk * tile.k
+        ramp_dims = (padded_m, padded_n, padded_k)
+        util = (m * n * k) / (padded_m * padded_n * padded_k)
+    else:
+        ramp_dims = (m, n, k)
+        util = 1.0
+    eff = curve.evaluate(*ramp_dims) * util
+    return max(eff, 1e-4)
+
+
 def gemm_efficiency(engine: ComputeEngine, m: int, n: int, k: int) -> float:
     """Fraction of *engine*'s peak achieved by an m x n x k GEMM.
 
@@ -99,17 +123,15 @@ def gemm_efficiency(engine: ComputeEngine, m: int, n: int, k: int) -> float:
     with the tile-utilization factor this makes simulated GEMM time
     monotone non-decreasing in every dimension — the physical invariant.
 
+    Results are memoized (see :func:`clear_gemm_efficiency_cache`).
     Always returns a value in (0, 1].
     """
     require_positive(m, "m")
     require_positive(n, "n")
     require_positive(k, "k")
-    curve = _CURVES[engine.kind]
-    if engine.tile is not None:
-        tm, tn, tk = tiles_needed(engine.tile, m, n, k)
-        ramp_dims = (tm * engine.tile.m, tn * engine.tile.n,
-                     tk * engine.tile.k)
-    else:
-        ramp_dims = (m, n, k)
-    eff = curve.evaluate(*ramp_dims) * tile_utilization(engine, m, n, k)
-    return max(eff, 1e-4)
+    return _gemm_efficiency_cached(engine.kind, engine.tile, m, n, k)
+
+
+def clear_gemm_efficiency_cache() -> None:
+    """Drop all memoized efficiency values (for calibration-tweaking tests)."""
+    _gemm_efficiency_cached.cache_clear()

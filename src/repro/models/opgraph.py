@@ -9,7 +9,8 @@ All byte counts use the activation/weight dtype passed in (BF16 in the
 paper's experiments).
 """
 
-from typing import List
+import functools
+from typing import List, Tuple
 
 from repro.hardware.datatypes import DType
 from repro.models.config import FFNKind, ModelConfig
@@ -29,9 +30,19 @@ def prefill_ops(model: ModelConfig, batch_size: int, seq_len: int,
     matrix P never round-trips through memory (softmax runs on register/
     cache-resident tiles), removing the O(seq^2) activation traffic while
     keeping the FLOPs — the design-choice ablation for long prompts.
+
+    Results are memoized per (model, batch, seq_len, dtype, fused); see
+    :func:`clear_opgraph_caches`.
     """
     require_positive(batch_size, "batch_size")
     require_positive(seq_len, "seq_len")
+    return list(_prefill_ops_cached(model, batch_size, seq_len, dtype,
+                                    fused_attention))
+
+
+@functools.lru_cache(maxsize=4096)
+def _prefill_ops_cached(model: ModelConfig, batch_size: int, seq_len: int,
+                        dtype: DType, fused_attention: bool) -> Tuple[Op, ...]:
     nb = dtype.nbytes
     tokens = batch_size * seq_len
     ops: List[Op] = []
@@ -58,7 +69,7 @@ def prefill_ops(model: ModelConfig, batch_size: int, seq_len: int,
         weight_bytes=float(model.vocab_size * model.d_model * nb),
         activation_bytes=float(batch_size * (model.d_model + model.vocab_size) * nb),
     ))
-    return ops
+    return tuple(ops)
 
 
 def decode_step_ops(model: ModelConfig, batch_size: int, kv_len: int,
@@ -68,9 +79,18 @@ def decode_step_ops(model: ModelConfig, batch_size: int, kv_len: int,
     The defining property of decode: every weight byte and every cached KV
     byte is read to produce just ``batch_size`` tokens, so arithmetic
     intensity is ~2 FLOPs per weight byte at batch 1.
+
+    Results are memoized per (model, batch, kv_len, dtype); see
+    :func:`clear_opgraph_caches`.
     """
     require_positive(batch_size, "batch_size")
     require_positive(kv_len, "kv_len")
+    return list(_decode_step_ops_cached(model, batch_size, kv_len, dtype))
+
+
+@functools.lru_cache(maxsize=8192)
+def _decode_step_ops_cached(model: ModelConfig, batch_size: int, kv_len: int,
+                            dtype: DType) -> Tuple[Op, ...]:
     nb = dtype.nbytes
     ops: List[Op] = []
 
@@ -94,7 +114,13 @@ def decode_step_ops(model: ModelConfig, batch_size: int, kv_len: int,
         weight_bytes=float(model.vocab_size * model.d_model * nb),
         activation_bytes=float(batch_size * (model.d_model + model.vocab_size) * nb),
     ))
-    return ops
+    return tuple(ops)
+
+
+def clear_opgraph_caches() -> None:
+    """Drop memoized prefill/decode operator graphs."""
+    _prefill_ops_cached.cache_clear()
+    _decode_step_ops_cached.cache_clear()
 
 
 def _attention_ops(model: ModelConfig, batch_size: int, seq_len: int,

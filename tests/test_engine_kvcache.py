@@ -57,6 +57,37 @@ class TestAccounting:
         with pytest.raises(KeyError):
             manager().append_token(99)
 
+    def test_append_tokens_batched(self):
+        kv = manager()
+        ids = kv.allocate_batch(3, 10)
+        kv.append_tokens(ids, 5)
+        assert all(kv.seq_len(sid) == 15 for sid in ids)
+        assert kv.cached_tokens == 45
+
+    def test_append_tokens_matches_per_step_loop(self):
+        batched, looped = manager(), manager()
+        ids_b = batched.allocate_batch(4, 16)
+        ids_l = looped.allocate_batch(4, 16)
+        batched.append_tokens(ids_b, 7)
+        for _ in range(7):
+            for sid in ids_l:
+                looped.append_token(sid)
+        assert batched.cached_tokens == looped.cached_tokens
+        assert batched.bytes_used == looped.bytes_used
+
+    def test_append_tokens_unknown_id_raises_before_any_growth(self):
+        kv = manager()
+        sid = kv.allocate(10)
+        with pytest.raises(KeyError):
+            kv.append_tokens([sid, 99], 3)
+        assert kv.seq_len(sid) == 10
+
+    def test_append_tokens_rejects_non_positive_steps(self):
+        kv = manager()
+        ids = kv.allocate_batch(2, 10)
+        with pytest.raises(ValueError):
+            kv.append_tokens(ids, 0)
+
 
 class TestBudget:
     def test_overflow_on_allocate(self):
@@ -71,6 +102,16 @@ class TestBudget:
         sid = kv.allocate(tokens)
         with pytest.raises(KVCacheOverflow):
             kv.append_token(sid)
+
+    def test_append_tokens_overflow_is_all_or_nothing(self):
+        kv = manager(capacity=1 * GB)
+        per_seq = int(0.4 * GB / kv.bytes_per_token)
+        ids = kv.allocate_batch(2, per_seq)
+        headroom = int(0.2 * GB / kv.bytes_per_token)
+        before = kv.cached_tokens
+        with pytest.raises(KVCacheOverflow):
+            kv.append_tokens(ids, headroom)  # 2 x headroom > remaining budget
+        assert kv.cached_tokens == before
 
     def test_unbounded_never_overflows(self):
         kv = manager()

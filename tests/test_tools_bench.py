@@ -1,0 +1,49 @@
+"""Smoke tests for the performance benchmark entry point (tools/bench.py)."""
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+
+def test_bench_quick_emits_valid_json(tmp_path):
+    out = tmp_path / "bench.json"
+    env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+    proc = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "tools" / "bench.py"),
+         "--quick", "--repeat", "1", "--json", str(out)],
+        capture_output=True, text=True, env=env, cwd=str(REPO_ROOT))
+    assert proc.returncode == 0, proc.stderr
+
+    report = json.loads(out.read_text())
+    assert report["quick"] is True
+
+    sweep = report["fig8_sweep"]
+    assert sweep["rows"] > 0
+    assert sweep["exact_s"] > 0
+    assert sweep["fast_cold_s"] > 0
+    assert sweep["speedup_cold"] == sweep["exact_s"] / sweep["fast_cold_s"]
+    assert sweep["max_rel_err"] <= 1e-9
+
+    micro = report["decode_micro"]
+    assert micro["decode_steps"] > 0
+    assert micro["speedup"] > 0
+    assert micro["max_rel_err"] <= 1e-9
+
+    # Human-readable summary goes to stdout.
+    assert "fig-8 grid" in proc.stdout
+    assert "decode micro" in proc.stdout
+
+
+def test_bench_sweep_json_checked_in_record():
+    """The committed BENCH_sweep.json must hold a full (non-quick) run."""
+    record = json.loads((REPO_ROOT / "BENCH_sweep.json").read_text())
+    assert record["quick"] is False
+    sweep = record["fig8_sweep"]
+    assert sweep["cells"] == 96
+    assert sweep["speedup_cold"] >= 10.0
+    assert sweep["max_rel_err"] <= 1e-9
+    assert record["decode_micro"]["speedup"] >= 10.0

@@ -1,0 +1,280 @@
+#!/usr/bin/env python
+"""Performance benchmark for the simulation hot path.
+
+Times two things and writes the results as JSON (``BENCH_sweep.json`` by
+default) so future PRs can track the performance trajectory:
+
+* **fig-8 grid** — the paper's 8 models x {ICL, SPR} x batches 1-32 sweep,
+  priced with the pre-PR per-step decode loop (``exact=True``, pricing
+  caches cleared first) and with the analytical fast path
+  (:meth:`OperatorExecutor.time_decode_range`), cold and warm.
+* **decode-pricing microbenchmark** — one long-decode request priced per
+  step vs. analytically.
+
+Both modes also cross-check that fast-path metrics agree with the exact
+loop (max relative error is recorded in the JSON).
+
+Usage::
+
+    PYTHONPATH=src python tools/bench.py --json BENCH_sweep.json
+    PYTHONPATH=src python tools/bench.py --quick   # tiny grid, smoke tests
+"""
+
+import argparse
+import contextlib
+import json
+import sys
+import timeit
+
+import repro.engine.executor as _executor_mod
+import repro.gemm.efficiency as _efficiency_mod
+import repro.models.opgraph as _opgraph_mod
+from repro.engine.executor import _ELEMENTWISE_COMPUTE_EFFICIENCY, OpTiming
+from repro.gemm.efficiency import gemm_efficiency
+from repro.engine.inference import InferenceSimulator, MemoryCapacityError
+from repro.engine.request import EVALUATED_BATCH_SIZES, InferenceRequest
+from repro.experiments._sweeps import clear_caches
+from repro.hardware.registry import get_platform
+from repro.models.registry import evaluated_models, get_model
+
+
+def _seed_time_gemm(self, op, memory_s):
+    """The seed revision's ``OperatorExecutor._time_gemm``, verbatim.
+
+    Re-derives engine peaks and the elementwise rate per op and builds an
+    ``OpTiming`` per candidate engine, exactly as the pre-PR executor did
+    (the current one precomputes peaks and constructs only the winner).
+    """
+    best = None
+    for engine in self._engines:
+        eff = gemm_efficiency(engine, op.m, op.n, op.k)
+        peak = engine.peak(self.dtype) * self.compute_scale
+        compute_s = op.gemm_flops / (peak * eff)
+        if op.extra_flops:
+            compute_s += op.extra_flops / (
+                self._vector_like.peak(self.dtype) * self.compute_scale
+                * _ELEMENTWISE_COMPUTE_EFFICIENCY)
+        overhead_s = engine.launch_overhead_s * op.kernel_launches
+        timing = OpTiming(
+            op=op,
+            time_s=max(compute_s, memory_s) + overhead_s,
+            compute_s=compute_s,
+            memory_s=memory_s,
+            overhead_s=overhead_s,
+            engine_name=engine.name,
+            efficiency=eff,
+            memory_bound=memory_s >= compute_s,
+        )
+        if best is None or timing.time_s < best.time_s:
+            best = timing
+    assert best is not None
+    return best
+
+
+def _seed_time_bandwidth_op(self, op, memory_s):
+    """The seed revision's ``OperatorExecutor._time_bandwidth_op``."""
+    engine = self._vector_like
+    compute_s = 0.0
+    if op.extra_flops:
+        compute_s = op.extra_flops / (
+            engine.peak(self.dtype) * self.compute_scale
+            * _ELEMENTWISE_COMPUTE_EFFICIENCY)
+    overhead_s = engine.launch_overhead_s * op.kernel_launches
+    return OpTiming(
+        op=op,
+        time_s=max(compute_s, memory_s) + overhead_s,
+        compute_s=compute_s,
+        memory_s=memory_s,
+        overhead_s=overhead_s,
+        engine_name=engine.name,
+        efficiency=_ELEMENTWISE_COMPUTE_EFFICIENCY,
+        memory_bound=memory_s >= compute_s,
+    )
+
+
+@contextlib.contextmanager
+def pre_pr_baseline():
+    """Reproduce the pre-PR cost model for an honest speedup baseline.
+
+    The seed code rebuilt operator graphs, re-evaluated GEMM efficiency
+    curves, and re-derived engine peaks on every decode step; timing the
+    ``exact=True`` loop with the memoization layers swapped out for their
+    unmemoized originals and the seed pricing loops restored measures
+    exactly that baseline (cross-checked against a checkout of the seed
+    revision: both price the fig-8 grid in ~0.43 s on the reference box).
+    """
+    patched = [
+        (_opgraph_mod, "_decode_step_ops_cached"),
+        (_opgraph_mod, "_prefill_ops_cached"),
+        (_efficiency_mod, "_gemm_efficiency_cached"),
+        (_executor_mod, "_gemm_efficiency_cached"),
+        (_executor_mod, "_decode_step_ops_cached"),
+    ]
+    saved = [(mod, name, getattr(mod, name)) for mod, name in patched]
+    executor_cls = _executor_mod.OperatorExecutor
+    seed_methods = [
+        (executor_cls, "_time_gemm", _seed_time_gemm),
+        (executor_cls, "_time_bandwidth_op", _seed_time_bandwidth_op),
+    ]
+    saved_methods = [(cls, name, getattr(cls, name))
+                     for cls, name, _ in seed_methods]
+    try:
+        for mod, name, fn in saved:
+            setattr(mod, name, fn.__wrapped__)
+        for cls, name, fn in seed_methods:
+            setattr(cls, name, fn)
+        yield
+    finally:
+        for mod, name, fn in saved:
+            setattr(mod, name, fn)
+        for cls, name, fn in saved_methods:
+            setattr(cls, name, fn)
+
+
+def _grid_cells(quick: bool):
+    models = evaluated_models()
+    batches = list(EVALUATED_BATCH_SIZES)
+    platforms = ["icl", "spr"]
+    if quick:
+        models = models[:2]
+        batches = batches[:2]
+        platforms = ["spr"]
+    cells = []
+    for model in models:
+        for name in platforms:
+            sim = InferenceSimulator(get_platform(name))
+            for batch in batches:
+                cells.append((sim, model, InferenceRequest(batch_size=batch)))
+    return cells
+
+
+def _run_grid(cells, exact: bool):
+    results = []
+    for sim, model, request in cells:
+        try:
+            results.append(sim.run(model, request, exact=exact))
+        except MemoryCapacityError:
+            results.append(None)
+    return results
+
+
+def _max_rel_err(exact_results, fast_results) -> float:
+    worst = 0.0
+    for e, f in zip(exact_results, fast_results):
+        if e is None or f is None:
+            continue
+        for key, want in e.summary().items():
+            got = f.summary()[key]
+            worst = max(worst,
+                        abs(got - want) / max(abs(got), abs(want), 1e-300))
+    return worst
+
+
+def bench_fig8_sweep(quick: bool, repeat: int) -> dict:
+    """Time the fig-8 grid: per-step loop vs analytical decode pricing."""
+    cells = _grid_cells(quick)
+    _run_grid(cells, exact=False)  # warm imports and code paths
+
+    def baseline():
+        with pre_pr_baseline():
+            _run_grid(cells, exact=True)
+
+    def cold_fast():
+        clear_caches()
+        _run_grid(cells, exact=False)
+
+    # The fast legs finish in tens of milliseconds, so scheduler noise
+    # distorts them far more than the ~half-second baseline; they are
+    # cheap enough to repeat heavily instead.
+    exact_s = min(timeit.repeat(baseline, number=1, repeat=repeat))
+    fast_cold_s = min(timeit.repeat(cold_fast, number=1, repeat=5 * repeat))
+    fast_warm_s = min(timeit.repeat(
+        lambda: _run_grid(cells, exact=False), number=1, repeat=5 * repeat))
+
+    clear_caches()
+    exact_results = _run_grid(cells, exact=True)
+    fast_results = _run_grid(cells, exact=False)
+    return {
+        "cells": len(cells),
+        "rows": sum(1 for r in fast_results if r is not None),
+        "exact_s": exact_s,
+        "fast_cold_s": fast_cold_s,
+        "fast_warm_s": fast_warm_s,
+        "speedup_cold": exact_s / fast_cold_s,
+        "speedup_warm": exact_s / fast_warm_s,
+        "max_rel_err": _max_rel_err(exact_results, fast_results),
+    }
+
+
+def bench_decode_micro(quick: bool, repeat: int) -> dict:
+    """Time one long-decode request: per-step loop vs time_decode_range."""
+    model = get_model("opt-6.7b")
+    sim = InferenceSimulator(get_platform("spr"))
+    request = InferenceRequest(batch_size=4, input_len=128,
+                               output_len=64 if quick else 512)
+
+    def baseline():
+        with pre_pr_baseline():
+            sim.run(model, request, exact=True)
+
+    def cold_fast():
+        clear_caches()
+        sim.run(model, request, exact=False)
+
+    exact_s = min(timeit.repeat(baseline, number=1, repeat=repeat))
+    fast_s = min(timeit.repeat(cold_fast, number=1, repeat=5 * repeat))
+    clear_caches()
+    err = _max_rel_err([sim.run(model, request, exact=True)],
+                       [sim.run(model, request, exact=False)])
+    return {
+        "model": model.name,
+        "platform": "SPR-Max-9468",
+        "batch_size": request.batch_size,
+        "decode_steps": request.decode_steps,
+        "exact_s": exact_s,
+        "fast_s": fast_s,
+        "speedup": exact_s / fast_s,
+        "max_rel_err": err,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--json", default="BENCH_sweep.json",
+                        help="output path for the JSON report")
+    parser.add_argument("--repeat", type=int, default=5,
+                        help="timing repetitions (best is reported)")
+    parser.add_argument("--quick", action="store_true",
+                        help="tiny grid for smoke testing")
+    args = parser.parse_args(argv)
+
+    report = {
+        "benchmark": "fig8-grid + decode-pricing microbenchmark",
+        "quick": args.quick,
+        "fig8_sweep": bench_fig8_sweep(args.quick, args.repeat),
+        "decode_micro": bench_decode_micro(args.quick, args.repeat),
+    }
+    with open(args.json, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+
+    sweep = report["fig8_sweep"]
+    micro = report["decode_micro"]
+    print(f"fig-8 grid ({sweep['rows']} rows): "
+          f"exact {sweep['exact_s']:.3f}s, "
+          f"fast cold {sweep['fast_cold_s']:.3f}s "
+          f"({sweep['speedup_cold']:.1f}x), "
+          f"warm {sweep['fast_warm_s']:.3f}s "
+          f"({sweep['speedup_warm']:.1f}x), "
+          f"max rel err {sweep['max_rel_err']:.2e}")
+    print(f"decode micro ({micro['decode_steps']} steps): "
+          f"exact {micro['exact_s']*1e3:.2f}ms, "
+          f"fast {micro['fast_s']*1e3:.2f}ms "
+          f"({micro['speedup']:.1f}x), "
+          f"max rel err {micro['max_rel_err']:.2e}")
+    print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
