@@ -1,0 +1,32 @@
+"""Bench: multi-replica cluster serving extension."""
+
+
+def test_ext_cluster(run_report):
+    report = run_report("ext_cluster")
+    by_scenario = {}
+    for row in report.rows:
+        by_scenario.setdefault(row[0], []).append(row)
+
+    # Planner cross-validation: the statically sized fleet attains the
+    # SLO when the arrival process is actually simulated.
+    planner_row = by_scenario["planner-check"][0]
+    assert planner_row[2] == 1.0
+
+    # Heterogeneous routing: cost/SLO-aware routing beats round-robin
+    # goodput on the bursty, phase-mixed trace.
+    routing = {row[1].split(", ")[1]: row for row in by_scenario["routing"]}
+    assert routing["phase_aware"][3] >= routing["round_robin"][3]
+    # The phase-aware fleet is also no more expensive per token.
+    assert routing["phase_aware"][4] <= routing["round_robin"][4] * 1.05
+
+    # Node failure: work is requeued, nothing is lost.
+    failure_row = by_scenario["failure"][0]
+    assert "requeued=" in failure_row[5]
+    requeued = int(failure_row[5].split("requeued=")[1].split()[0])
+    assert requeued >= 1
+    assert failure_row[5].endswith("completed=24/24")
+
+    # Autoscaling: shorter provisioning lag serves the burst better.
+    lags = {row[1].split("lag=")[1]: row for row in by_scenario["autoscale"]}
+    assert lags["5s"][2] >= lags["40s"][2]   # attainment
+    assert lags["5s"][3] >= lags["40s"][3]   # goodput

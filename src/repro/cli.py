@@ -6,6 +6,7 @@ Usage::
     python -m repro sweep --platforms icl,spr --models opt-13b,opt-66b
     python -m repro experiment fig8
     python -m repro experiment --all
+    python -m repro cluster --platforms spr,spr,h100 --model llama2-7b
     python -m repro roofline --platform spr --model llama2-13b
     python -m repro platforms
     python -m repro models
@@ -95,6 +96,53 @@ def _cmd_roofline(args: argparse.Namespace) -> int:
     result = InferenceSimulator(platform, _engine_config(args)).run(
         model, request)
     print(roofline_for_run(platform, result.prefill, result.decode))
+    return 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    from repro.cluster import (
+        ClusterSimulator,
+        JoinShortestQueueRouter,
+        LeastOutstandingTokensRouter,
+        PhaseAwareRouter,
+        ReplicaNode,
+        RoundRobinRouter,
+    )
+    from repro.serving.arrivals import bursty_arrivals, poisson_arrivals
+    from repro.serving.slo import SLO
+
+    model = get_model(args.model)
+    nodes = [
+        ReplicaNode(f"{key}-{index}", get_platform(key), model,
+                    max_batch=args.batch)
+        for index, key in enumerate(args.platforms.split(","))
+    ]
+    slo = SLO(ttft_s=args.ttft, tpot_s=args.tpot)
+    routers = {
+        "round_robin": lambda: RoundRobinRouter(),
+        "jsq": lambda: JoinShortestQueueRouter(),
+        "least_tokens": lambda: LeastOutstandingTokensRouter(),
+        "phase_aware": lambda: PhaseAwareRouter(slo=slo),
+    }
+    if args.burst_rate:
+        arrivals = bursty_arrivals(args.rate, args.burst_rate,
+                                   args.requests, seed=args.seed)
+    else:
+        arrivals = poisson_arrivals(args.rate, args.requests,
+                                    seed=args.seed)
+    report = ClusterSimulator(nodes, routers[args.router]()).run(arrivals)
+    rows = [[s.name, s.platform, s.completed, s.utilization,
+             s.peak_queue] for s in report.node_stats]
+    print(format_table(
+        ["replica", "platform", "completed", "utilization", "peak queue"],
+        rows,
+        title=f"{model.name} x {len(nodes)} replicas, "
+              f"router={args.router}, {len(arrivals)} requests"))
+    print(f"\nthroughput: {report.throughput:.1f} tok/s   "
+          f"mean TTFT: {report.mean_ttft_s * 1000:.0f} ms   "
+          f"attainment: {report.attainment(list(arrivals), slo):.0%}   "
+          f"goodput: {report.goodput(list(arrivals), slo):.1f} tok/s   "
+          f"$/Mtok: {report.dollars_per_million_tokens():.2f}")
     return 0
 
 
@@ -199,6 +247,30 @@ def build_parser() -> argparse.ArgumentParser:
     roofline_parser.add_argument("--model", required=True)
     _add_request_args(roofline_parser)
     roofline_parser.set_defaults(func=_cmd_roofline)
+
+    cluster_parser = sub.add_parser(
+        "cluster", help="simulate a multi-replica serving fleet")
+    cluster_parser.add_argument("--platforms", required=True,
+                                help="comma-separated replica platforms "
+                                     "(one replica each, e.g. spr,spr,h100)")
+    cluster_parser.add_argument("--model", required=True)
+    cluster_parser.add_argument("--router", default="phase_aware",
+                                choices=["round_robin", "jsq",
+                                         "least_tokens", "phase_aware"])
+    cluster_parser.add_argument("--rate", type=float, default=1.0,
+                                help="arrival rate, requests/s")
+    cluster_parser.add_argument("--burst-rate", type=float, default=None,
+                                help="burst arrival rate (enables a "
+                                     "bursty on/off trace)")
+    cluster_parser.add_argument("--requests", type=int, default=32)
+    cluster_parser.add_argument("--batch", type=int, default=8,
+                                help="per-replica max batch")
+    cluster_parser.add_argument("--ttft", type=float, default=2.0,
+                                help="SLO: seconds to first token")
+    cluster_parser.add_argument("--tpot", type=float, default=0.2,
+                                help="SLO: seconds per output token")
+    cluster_parser.add_argument("--seed", type=int, default=0)
+    cluster_parser.set_defaults(func=_cmd_cluster)
 
     advise_parser = sub.add_parser("advise",
                                    help="recommend a deployment config")

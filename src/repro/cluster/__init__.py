@@ -1,0 +1,38 @@
+"""Fleet layer: discrete-event, multi-replica serving simulation.
+
+Everything above one node: steppable replicas wrapping the
+continuous-batching scheduler, pluggable request routing (including
+cost/SLO-aware heterogeneous routing), queue-driven autoscaling with
+provisioning lag, and failure handling with requeue accounting. The
+deployment question the paper's Section VI costs out — how many SPR
+sockets vs. GPUs serve a load within SLO — answered by simulation
+instead of ceiling division.
+"""
+
+from repro.cluster.autoscaler import Autoscaler, NodeTemplate
+from repro.cluster.metrics import ClusterReport, NodeStats
+from repro.cluster.node import ReplicaNode
+from repro.cluster.router import (
+    JoinShortestQueueRouter,
+    LeastOutstandingTokensRouter,
+    PhaseAwareRouter,
+    RoundRobinRouter,
+    Router,
+)
+from repro.cluster.simulator import ClusterSimulator, NodeDrain, NodeFailure
+
+__all__ = [
+    "Autoscaler",
+    "ClusterReport",
+    "ClusterSimulator",
+    "JoinShortestQueueRouter",
+    "LeastOutstandingTokensRouter",
+    "NodeDrain",
+    "NodeFailure",
+    "NodeStats",
+    "NodeTemplate",
+    "PhaseAwareRouter",
+    "ReplicaNode",
+    "RoundRobinRouter",
+    "Router",
+]

@@ -1,0 +1,135 @@
+"""Fleet-level metrics for cluster simulations.
+
+A :class:`ClusterReport` aggregates what the event loop observed:
+per-replica utilization, queue-depth timelines, requeue/wasted-work
+accounting from failures, and the fleet's cost. SLO scoring reuses the
+single-node machinery — :meth:`ClusterReport.to_serving_report` adapts
+the fleet outcome so :func:`repro.serving.slo.attainment` and
+:func:`~repro.serving.slo.goodput` apply unchanged.
+"""
+
+import dataclasses
+from typing import List, Tuple
+
+from repro.analysis.cost import LIST_PRICE_USD, list_price
+from repro.serving.arrivals import ArrivingRequest
+from repro.serving.scheduler import CompletedRequest, ServingReport
+from repro.serving.slo import SLO
+from repro.serving.slo import attainment as _attainment
+from repro.serving.slo import goodput as _goodput
+
+#: Amortization window for converting listing prices into $/token: the
+#: 3-year depreciation schedule common for datacenter accelerators.
+DEFAULT_AMORTIZATION_YEARS = 3.0
+_SECONDS_PER_YEAR = 365.0 * 24 * 3600
+
+
+@dataclasses.dataclass(frozen=True)
+class NodeStats:
+    """One replica's share of a cluster run.
+
+    Attributes:
+        name / platform: Replica identification.
+        busy_s: Seconds spent prefilling or decoding.
+        utilization: ``busy_s`` over the fleet makespan.
+        iterations: Scheduler iterations executed.
+        completed: Requests finished on this replica.
+        generated_tokens: Tokens produced here.
+        peak_queue: Deepest unadmitted queue observed.
+        failed / drained: Lifecycle outcome flags.
+    """
+
+    name: str
+    platform: str
+    busy_s: float
+    utilization: float
+    iterations: int
+    completed: int
+    generated_tokens: int
+    peak_queue: int
+    failed: bool = False
+    drained: bool = False
+
+
+@dataclasses.dataclass(frozen=True)
+class ClusterReport:
+    """Outcome of one cluster simulation.
+
+    Attributes:
+        router: Routing policy name.
+        completed: Per-request records, completion order (fleet-wide).
+        node_stats: Per-replica accounting, fleet order.
+        makespan_s: Last completion time.
+        generated_tokens: Tokens produced fleet-wide (useful work only).
+        wasted_tokens: Tokens generated then lost to node failures.
+        requeued_requests: Requests rescued and rerouted after failures.
+        queue_depth_timeline: (time, fleet unadmitted queue) samples,
+            one per event-loop step.
+        events: Human-readable log of failures, drains, and scalings.
+    """
+
+    router: str
+    completed: List[CompletedRequest]
+    node_stats: List[NodeStats]
+    makespan_s: float
+    generated_tokens: int
+    wasted_tokens: int
+    requeued_requests: int
+    queue_depth_timeline: List[Tuple[float, int]]
+    events: List[str] = dataclasses.field(default_factory=list)
+
+    @property
+    def throughput(self) -> float:
+        """Useful generated tokens per second over the makespan."""
+        return self.generated_tokens / self.makespan_s
+
+    @property
+    def mean_ttft_s(self) -> float:
+        """Fleet-wide mean arrival-to-first-token latency."""
+        return (sum(r.ttft_s for r in self.completed)
+                / len(self.completed))
+
+    @property
+    def fleet_price_usd(self) -> float:
+        """Listing-price total over every replica ever provisioned."""
+        total = 0.0
+        for stats in self.node_stats:
+            try:
+                total += list_price(stats.platform)
+            except KeyError:
+                prices = sorted(LIST_PRICE_USD.values())
+                total += prices[len(prices) // 2]
+        return total
+
+    def to_serving_report(self) -> ServingReport:
+        """Adapt to :class:`ServingReport` for the SLO machinery."""
+        return ServingReport(
+            policy=f"cluster/{self.router}",
+            completed=self.completed,
+            makespan_s=self.makespan_s,
+            generated_tokens=self.generated_tokens,
+        )
+
+    def attainment(self, arrivals: List[ArrivingRequest], slo: SLO) -> float:
+        """Fraction of requests meeting *slo* (fleet-wide)."""
+        return _attainment(self.to_serving_report(), arrivals, slo)
+
+    def goodput(self, arrivals: List[ArrivingRequest], slo: SLO) -> float:
+        """Tokens/s counting only SLO-compliant requests."""
+        return _goodput(self.to_serving_report(), arrivals, slo)
+
+    def dollars_per_million_tokens(
+            self,
+            amortization_years: float = DEFAULT_AMORTIZATION_YEARS) -> float:
+        """Fleet hardware cost per million useful tokens.
+
+        Amortizes each replica's listing price over *amortization_years*,
+        charges the makespan's worth of amortized dollars, and divides by
+        the useful tokens produced — the purchasing-decision figure the
+        provisioning planner ranks fleets by, now measured on a simulated
+        trace instead of a capacity bound.
+        """
+        dollars_per_second = (self.fleet_price_usd
+                              / (amortization_years * _SECONDS_PER_YEAR))
+        return (dollars_per_second * self.makespan_s
+                / self.generated_tokens * 1e6)

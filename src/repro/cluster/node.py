@@ -1,0 +1,254 @@
+"""Iteration-steppable serving replica.
+
+:class:`ReplicaNode` is the continuous-batching loop of
+:meth:`repro.serving.scheduler.BatchingSimulator.run_continuous`
+refactored into an event-steppable object: instead of consuming a whole
+arrival trace in one call, the node exposes
+
+* :meth:`submit` — route one request to the node's local queue,
+* :meth:`next_event_time` — when the node's next scheduler iteration
+  would start (``None`` while idle), and
+* :meth:`advance` — execute exactly one scheduler iteration
+  (admissions, retirements, one fused decode step).
+
+which is what a multi-replica event loop needs to interleave
+heterogeneous nodes (:class:`repro.cluster.simulator.ClusterSimulator`).
+``run_continuous`` itself now drives a single node to completion, so the
+single-node policy and the cluster share one scheduling implementation —
+with one replica and no concurrent admissions the two produce identical
+per-request timings by construction.
+
+One iteration is atomic: its admission prefills and decode step are
+priced as a block and the node clock jumps to the block's end. A request
+routed *into* the middle of an in-flight iteration is considered at the
+next iteration boundary (the whole-trace runner can instead admit it
+mid-round during admission prefills; at low arrival rates the two are
+identical, which the parity tests pin).
+"""
+
+import bisect
+import dataclasses
+from typing import List, Optional, Tuple
+
+from repro.engine.inference import DEFAULT_ENGINE_CONFIG, EngineConfig
+from repro.hardware.platform import Platform
+from repro.models.config import ModelConfig
+from repro.serving.arrivals import ArrivingRequest
+from repro.serving.scheduler import BatchingSimulator, CompletedRequest, _Running
+
+
+@dataclasses.dataclass(frozen=True)
+class _QueuedRequest:
+    """A routed request waiting for admission.
+
+    ``ready_s`` is when the node may admit it: the arrival time for a
+    normally routed request, or the requeue time for a request rescued
+    from a failed node (its ``request.arrival_s`` stays original so TTFT
+    keeps charging the lost time).
+    """
+
+    ready_s: float
+    request: ArrivingRequest
+
+
+class ReplicaNode:
+    """One continuous-batching serving replica with a steppable clock.
+
+    Args:
+        name: Replica identifier within the fleet ("spr-0", "h100-0").
+        platform: Device the replica runs on.
+        model: Served model.
+        max_batch: Maximum concurrent sequences.
+        config: Engine configuration for CPU platforms.
+        simulator: Pre-built cost model; built from the other arguments
+            when omitted (the single-node runner passes its own).
+    """
+
+    def __init__(self, name: str, platform: Optional[Platform] = None,
+                 model: Optional[ModelConfig] = None, max_batch: int = 8,
+                 config: EngineConfig = DEFAULT_ENGINE_CONFIG,
+                 simulator: Optional[BatchingSimulator] = None):
+        if simulator is None:
+            if platform is None or model is None:
+                raise ValueError("ReplicaNode needs platform+model or a "
+                                 "pre-built BatchingSimulator")
+            simulator = BatchingSimulator(platform, model, max_batch, config)
+        self.name = name
+        self._sim = simulator
+        self.clock = 0.0
+        self.pending: List[_QueuedRequest] = []
+        self.running: List[_Running] = []
+        self.completed: List[CompletedRequest] = []
+        self.decode_gaps: List[float] = []
+        self.generated_tokens = 0
+        self.busy_s = 0.0
+        self.iterations = 0
+        self.peak_queue = 0
+        self.draining = False
+        self.active = True
+
+    # -- identification -------------------------------------------------------
+
+    @property
+    def platform(self) -> Platform:
+        """Device this replica models."""
+        return self._sim.platform
+
+    @property
+    def model(self) -> ModelConfig:
+        """Model this replica serves."""
+        return self._sim.model
+
+    @property
+    def max_batch(self) -> int:
+        """Maximum concurrent sequences."""
+        return self._sim.max_batch
+
+    # -- routing-facing state -------------------------------------------------
+
+    @property
+    def has_work(self) -> bool:
+        """Whether any queued or running request remains."""
+        return bool(self.pending or self.running)
+
+    @property
+    def queue_len(self) -> int:
+        """Requests routed here but not yet admitted."""
+        return len(self.pending)
+
+    @property
+    def outstanding_tokens(self) -> int:
+        """Prompt + remaining output tokens across queued and running."""
+        queued = sum(q.request.input_len + q.request.output_len
+                     for q in self.pending)
+        running = sum(seq.request.input_len
+                      + (seq.request.output_len - seq.generated)
+                      for seq in self.running)
+        return queued + running
+
+    def prefill_cost_s(self, input_len: int) -> float:
+        """This replica's single-sequence prefill time for a prompt."""
+        return self._sim._prefill_time(1, input_len)
+
+    def decode_cost_s(self, input_len: int, output_len: int) -> float:
+        """Single-sequence decode-phase estimate (mid-KV iteration cost)."""
+        steps = max(0, output_len - 1)
+        if steps == 0:
+            return 0.0
+        mid_kv = input_len + output_len // 2
+        return steps * self._sim._decode_iteration_time(1, mid_kv)
+
+    def backlog_s(self, now: float) -> float:
+        """Projected work ahead of a request routed at *now*.
+
+        The in-flight iteration's remainder, plus every queued prompt's
+        prefill, plus the running set's remaining decode iterations at
+        the current batch geometry. An estimate (the true schedule
+        depends on future admissions), but deterministic and computed
+        with the same cost primitives the node executes with.
+        """
+        backlog = max(0.0, self.clock - now)
+        backlog += sum(self.prefill_cost_s(q.request.input_len)
+                       for q in self.pending)
+        if self.running:
+            remaining = max(seq.request.output_len - seq.generated
+                            for seq in self.running)
+            mean_kv = int(sum(seq.kv_len for seq in self.running)
+                          / len(self.running))
+            backlog += remaining * self._sim._decode_iteration_time(
+                len(self.running), max(1, mean_kv))
+        return backlog
+
+    # -- event-loop interface -------------------------------------------------
+
+    def submit(self, request: ArrivingRequest,
+               ready_s: Optional[float] = None) -> None:
+        """Queue *request*; admissible from ``ready_s`` (default arrival)."""
+        if ready_s is None:
+            ready_s = request.arrival_s
+        entry = _QueuedRequest(ready_s=max(ready_s, request.arrival_s),
+                               request=request)
+        # Keep the queue ordered by readiness; stable for equal stamps.
+        keys = [q.ready_s for q in self.pending]
+        self.pending.insert(bisect.bisect_right(keys, entry.ready_s), entry)
+        self.peak_queue = max(self.peak_queue, len(self.pending))
+
+    def next_event_time(self) -> Optional[float]:
+        """Start time of the next scheduler iteration; None while idle."""
+        if self.running:
+            return self.clock
+        if self.pending:
+            return max(self.clock, self.pending[0].ready_s)
+        return None
+
+    def advance(self, now: Optional[float] = None) -> List[CompletedRequest]:
+        """Run one scheduler iteration; return requests completed by it.
+
+        The iteration replays ``run_continuous``'s loop body exactly:
+        admit every ready request up to capacity (each paying its prefill
+        serially, stalling already-running sequences), retire finished
+        sequences, then run one fused decode step for the running set.
+        *now* is advisory (the cluster loop's current time); the
+        iteration actually starts at :meth:`next_event_time`.
+        """
+        start = self.next_event_time()
+        if start is None:
+            return []
+        self.clock = start
+        stall = 0.0
+        while (self.pending and len(self.running) < self.max_batch
+               and self.pending[0].ready_s <= self.clock):
+            queued = self.pending.pop(0)
+            request = queued.request
+            start_s = self.clock
+            prefill = self._sim._prefill_time(1, request.input_len)
+            self.clock += prefill
+            self.busy_s += prefill
+            if self.running:
+                stall += prefill
+            self.running.append(_Running(request=request, start_s=start_s,
+                                         first_token_s=self.clock,
+                                         generated=1))
+        completed_now: List[CompletedRequest] = []
+        self.running, retired = BatchingSimulator._retire(self.running,
+                                                          self.clock)
+        for seq in retired:
+            record = BatchingSimulator._complete(seq, self.clock)
+            self.completed.append(record)
+            completed_now.append(record)
+            self.generated_tokens += seq.request.output_len
+        if self.running:
+            mean_kv = int(sum(seq.kv_len for seq in self.running)
+                          / len(self.running))
+            iteration = self._sim._decode_iteration_time(len(self.running),
+                                                         mean_kv)
+            self.clock += iteration
+            self.busy_s += iteration
+            self.decode_gaps.append(stall + iteration)
+            for seq in self.running:
+                seq.generated += 1
+        self.iterations += 1
+        return completed_now
+
+    # -- fleet lifecycle ------------------------------------------------------
+
+    def drain(self) -> None:
+        """Stop accepting new routes; in-flight work runs to completion."""
+        self.draining = True
+
+    def fail(self) -> Tuple[List[ArrivingRequest], int]:
+        """Kill the node; return (requests to requeue, wasted tokens).
+
+        Every queued and in-flight request is handed back for rerouting
+        with its original arrival stamp (so TTFT keeps charging the lost
+        time); tokens already generated by in-flight sequences are the
+        wasted work.
+        """
+        self.active = False
+        self.draining = True
+        lost = [q.request for q in self.pending]
+        lost += [seq.request for seq in self.running]
+        wasted = sum(seq.generated for seq in self.running)
+        self.pending.clear()
+        self.running.clear()
+        return lost, wasted

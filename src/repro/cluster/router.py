@@ -1,0 +1,167 @@
+"""Request routing across serving replicas.
+
+A :class:`Router` picks a replica for each arriving request; the cluster
+event loop calls it once per request at its arrival time. Policies:
+
+* :class:`RoundRobinRouter` — the classic baseline: cycles through
+  routable replicas, blind to load and device speed.
+* :class:`JoinShortestQueueRouter` — fewest in-system requests
+  (queued + running).
+* :class:`LeastOutstandingTokensRouter` — fewest outstanding tokens,
+  the token-aware refinement of JSQ (requests are wildly different
+  sizes, so counting requests mis-weighs long prompts).
+* :class:`PhaseAwareRouter` — cost/SLO-aware heterogeneous routing:
+  prices each candidate's prefill + decode for *this* request with the
+  replica's own cost model, discards replicas whose projected TTFT
+  (backlog + prefill) would break the SLO, and picks the cheapest
+  feasible dollar-occupancy. The effect is the fleet-level version of
+  :mod:`repro.optim.disaggregation`'s phase split: long-prefill requests
+  land on compute-rich replicas (GPUs, AMX) whose speed advantage beats
+  their price, decode-heavy requests land on bandwidth-rich CPU replicas
+  that win per dollar on memory-bound work.
+"""
+
+import math
+from typing import List, Optional, Sequence
+
+from repro.analysis.cost import LIST_PRICE_USD, list_price
+from repro.optim.disaggregation import phase_affinity
+from repro.cluster.node import ReplicaNode
+from repro.serving.arrivals import ArrivingRequest
+from repro.serving.slo import SLO
+
+
+class Router:
+    """Routing-policy interface."""
+
+    name = "base"
+
+    @staticmethod
+    def routable(nodes: Sequence[ReplicaNode]) -> List[ReplicaNode]:
+        """Replicas accepting new work (alive and not draining)."""
+        candidates = [n for n in nodes if n.active and not n.draining]
+        if not candidates:
+            raise RuntimeError("no routable replica (all failed/draining)")
+        return candidates
+
+    def select(self, request: ArrivingRequest,
+               nodes: Sequence[ReplicaNode], now: float) -> ReplicaNode:
+        """Choose the replica that will serve *request*."""
+        raise NotImplementedError
+
+
+class RoundRobinRouter(Router):
+    """Cycle through routable replicas in order."""
+
+    name = "round_robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def select(self, request: ArrivingRequest,
+               nodes: Sequence[ReplicaNode], now: float) -> ReplicaNode:
+        candidates = self.routable(nodes)
+        chosen = candidates[self._next % len(candidates)]
+        self._next += 1
+        return chosen
+
+
+class JoinShortestQueueRouter(Router):
+    """Fewest in-system requests (queued + running); ties go in order."""
+
+    name = "jsq"
+
+    def select(self, request: ArrivingRequest,
+               nodes: Sequence[ReplicaNode], now: float) -> ReplicaNode:
+        return min(self.routable(nodes),
+                   key=lambda n: n.queue_len + len(n.running))
+
+
+class LeastOutstandingTokensRouter(Router):
+    """Fewest outstanding (prompt + remaining output) tokens."""
+
+    name = "least_tokens"
+
+    def select(self, request: ArrivingRequest,
+               nodes: Sequence[ReplicaNode], now: float) -> ReplicaNode:
+        return min(self.routable(nodes), key=lambda n: n.outstanding_tokens)
+
+
+class PhaseAwareRouter(Router):
+    """Cost/SLO-aware routing for heterogeneous fleets.
+
+    For each candidate the router projects, with that replica's own cost
+    primitives, the request's prefill time, decode time, and queueing
+    backlog. Replicas whose projected TTFT misses the SLO are set aside;
+    among the feasible ones the cheapest *dollar-occupancy* — busy
+    seconds times the device's listing-price proxy — wins, with the
+    compute-to-bandwidth :func:`~repro.optim.disaggregation.phase_affinity`
+    breaking ties toward the phase-matched device (compute-rich for
+    prefill-dominated requests, bandwidth-rich for decode-dominated). If
+    no replica is feasible, the earliest projected finish wins — degrade
+    latency, not correctness.
+
+    Dollar-occupancies within ``cost_band`` of each other are treated as
+    equal before the affinity tie-break: listing prices are proxies with
+    easily 15% uncertainty, and for in-memory models the SPR/H100 speed
+    and price ratios land within a few percent of parity (the paper's
+    footnote-1 observation), so insisting on the raw minimum would turn
+    routing into noise-chasing. Banding lets the phase match decide
+    whenever the economics are a wash.
+
+    Args:
+        slo: Target SLO (``None`` disables the feasibility cut and
+            routes purely by projected finish + cost).
+        cost_band: Relative width of a cost-equivalence band (0.15 =
+            dollar-occupancies within 15% compare equal).
+    """
+
+    name = "phase_aware"
+
+    def __init__(self, slo: Optional[SLO] = None, cost_band: float = 0.15):
+        if not 0 <= cost_band < 1:
+            raise ValueError(f"cost_band must be in [0, 1), got {cost_band}")
+        self.slo = slo
+        self.cost_band = cost_band
+
+    def _band(self, cost: float) -> int:
+        """Geometric cost band; equal bands defer to phase affinity."""
+        if self.cost_band == 0 or cost <= 0:
+            return 0
+        return int(math.log(cost) / math.log1p(self.cost_band))
+
+    @staticmethod
+    def _price_rate(node: ReplicaNode) -> float:
+        """Listing-price proxy; unknown devices priced at the median."""
+        try:
+            return list_price(node.platform.name)
+        except KeyError:
+            prices = sorted(LIST_PRICE_USD.values())
+            return prices[len(prices) // 2]
+
+    def select(self, request: ArrivingRequest,
+               nodes: Sequence[ReplicaNode], now: float) -> ReplicaNode:
+        prefill_heavy = request.input_len >= request.output_len
+        best = None
+        best_key = None
+        for index, node in enumerate(self.routable(nodes)):
+            prefill = node.prefill_cost_s(request.input_len)
+            decode = node.decode_cost_s(request.input_len, request.output_len)
+            ttft_projected = node.backlog_s(now) + prefill
+            finish_projected = ttft_projected + decode
+            dollar_occupancy = (prefill + decode) * self._price_rate(node)
+            feasible = self.slo is None or ttft_projected <= self.slo.ttft_s
+            affinity = phase_affinity(node.platform)
+            # Feasible replicas sort by banded cost, then phase match
+            # (compute-rich for prefill-dominated requests,
+            # bandwidth-rich for decode-dominated); infeasible ones
+            # (rank 1) by projected finish.
+            key = (0 if feasible else 1,
+                   self._band(dollar_occupancy) if feasible
+                   else finish_projected,
+                   -affinity if prefill_heavy else affinity,
+                   dollar_occupancy,
+                   index)
+            if best_key is None or key < best_key:
+                best, best_key = node, key
+        return best

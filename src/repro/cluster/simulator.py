@@ -1,0 +1,227 @@
+"""Discrete-event, multi-replica serving simulation.
+
+The event loop interleaves four event classes in global-time order:
+
+1. **administrative events** — scheduled node failures and drains,
+   autoscaler samples, and provisioned replicas coming online;
+2. **request arrivals** — routed to a replica the moment they arrive;
+3. **replica iterations** — each :class:`~repro.cluster.node.ReplicaNode`
+   exposes when its next scheduler iteration starts, and the loop always
+   advances the earliest one.
+
+Ties resolve in that order (administrative before arrival before
+iteration) so a failure at time *t* kills work before the fleet computes
+at *t*, and an arrival at *t* is admissible by an iteration starting at
+*t* — matching the single-node scheduler's admission rule, which is what
+makes a one-replica cluster reproduce ``run_continuous`` exactly.
+
+Failures requeue: a failed replica's queued and in-flight requests are
+rerouted immediately with their original arrival stamps (TTFT keeps
+charging the lost time) and their already-generated tokens are accounted
+as wasted work. No request is ever dropped; if the *last* routable
+replica fails the simulation raises instead of losing traffic.
+"""
+
+import dataclasses
+from typing import List, Optional, Sequence, Tuple
+
+from repro.cluster.autoscaler import Autoscaler
+from repro.cluster.metrics import ClusterReport, NodeStats
+from repro.cluster.node import ReplicaNode
+from repro.cluster.router import Router
+from repro.serving.arrivals import ArrivingRequest
+
+# Same-timestamp dispatch order (see module docstring).
+_RANK_ADMIN = 0
+_RANK_ARRIVAL = 1
+_RANK_NODE = 2
+
+
+@dataclasses.dataclass(frozen=True)
+class NodeFailure:
+    """Kill *node* at *time_s*; its requests requeue through the router."""
+
+    time_s: float
+    node: str
+
+
+@dataclasses.dataclass(frozen=True)
+class NodeDrain:
+    """Stop routing to *node* at *time_s*; in-flight work completes."""
+
+    time_s: float
+    node: str
+
+
+class ClusterSimulator:
+    """Serves an arrival stream across a fleet of replicas.
+
+    Args:
+        nodes: Initial fleet (names must be unique).
+        router: Routing policy.
+        autoscaler: Optional queue-driven scaler; adds/drains replicas
+            while the simulation runs.
+        events: Scheduled :class:`NodeFailure` / :class:`NodeDrain`
+            events.
+    """
+
+    def __init__(self, nodes: Sequence[ReplicaNode], router: Router,
+                 autoscaler: Optional[Autoscaler] = None,
+                 events: Sequence[object] = ()):
+        if not nodes:
+            raise ValueError("a cluster needs at least one replica")
+        names = [node.name for node in nodes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"replica names must be unique, got {names}")
+        self.nodes: List[ReplicaNode] = list(nodes)
+        self.router = router
+        self.autoscaler = autoscaler
+        self.scheduled = sorted(events, key=lambda e: e.time_s)
+
+    # -- helpers --------------------------------------------------------------
+
+    def _node(self, name: str) -> ReplicaNode:
+        for node in self.nodes:
+            if node.name == name:
+                return node
+        raise KeyError(f"no replica named {name!r}; fleet: "
+                       f"{[n.name for n in self.nodes]}")
+
+    def _fleet_queue_len(self) -> int:
+        return sum(node.queue_len for node in self.nodes if node.active)
+
+    def _any_work(self) -> bool:
+        return any(node.has_work for node in self.nodes if node.active)
+
+    # -- event loop -----------------------------------------------------------
+
+    def run(self, arrivals: Sequence[ArrivingRequest]) -> ClusterReport:
+        """Simulate the fleet over *arrivals* and aggregate the outcome."""
+        if not arrivals:
+            raise ValueError("no arrivals to serve")
+        queue = sorted(arrivals, key=lambda r: r.arrival_s)
+        index = 0
+        scheduled_index = 0
+        provisioning: List[Tuple[float, ReplicaNode]] = []
+        next_sample = (self.autoscaler.sample_interval_s
+                       if self.autoscaler else None)
+        timeline: List[Tuple[float, int]] = []
+        log: List[str] = []
+        wasted_tokens = 0
+        requeued = 0
+        failed_names = set()
+
+        def route(request: ArrivingRequest, now: float,
+                  ready_s: Optional[float] = None) -> None:
+            node = self.router.select(request, self.nodes, now)
+            node.submit(request, ready_s=ready_s)
+
+        while True:
+            candidates: List[Tuple[float, int, int, str]] = []
+            if scheduled_index < len(self.scheduled):
+                candidates.append((self.scheduled[scheduled_index].time_s,
+                                   _RANK_ADMIN, 0, "scheduled"))
+            if provisioning:
+                ready = min(entry[0] for entry in provisioning)
+                candidates.append((ready, _RANK_ADMIN, 1, "online"))
+            if next_sample is not None and (index < len(queue)
+                                            or self._any_work()
+                                            or provisioning):
+                candidates.append((next_sample, _RANK_ADMIN, 2, "sample"))
+            if index < len(queue):
+                candidates.append((queue[index].arrival_s, _RANK_ARRIVAL,
+                                   0, "arrival"))
+            for node_index, node in enumerate(self.nodes):
+                if not node.active:
+                    continue
+                when = node.next_event_time()
+                if when is not None:
+                    candidates.append((when, _RANK_NODE, node_index, "node"))
+            if not candidates:
+                break
+            now, _rank, which, kind = min(candidates)
+
+            if kind == "scheduled":
+                event = self.scheduled[scheduled_index]
+                scheduled_index += 1
+                target = self._node(event.node)
+                if isinstance(event, NodeFailure):
+                    if target.active:
+                        lost, wasted = target.fail()
+                        failed_names.add(target.name)
+                        wasted_tokens += wasted
+                        requeued += len(lost)
+                        log.append(f"t={now:.2f}s {target.name} FAILED: "
+                                   f"{len(lost)} requests requeued, "
+                                   f"{wasted} tokens wasted")
+                        for request in sorted(lost,
+                                              key=lambda r: r.arrival_s):
+                            route(request, now, ready_s=now)
+                else:
+                    target.drain()
+                    log.append(f"t={now:.2f}s {target.name} draining")
+            elif kind == "online":
+                provisioning.sort(key=lambda entry: entry[0])
+                _ready, node = provisioning.pop(0)
+                self.nodes.append(node)
+                log.append(f"t={now:.2f}s {node.name} online "
+                           f"({node.platform.name})")
+            elif kind == "sample":
+                decision = self.autoscaler.decide(self.nodes,
+                                                  len(provisioning))
+                if decision == "up":
+                    node = self.autoscaler.template.build(
+                        self.autoscaler.next_name())
+                    provisioning.append(
+                        (now + self.autoscaler.provisioning_lag_s, node))
+                    log.append(f"t={now:.2f}s scale-up ordered "
+                               f"({node.name}, online at "
+                               f"t={now + self.autoscaler.provisioning_lag_s:.2f}s)")
+                elif decision == "down":
+                    target = self.autoscaler.pick_drain_target(self.nodes)
+                    target.drain()
+                    log.append(f"t={now:.2f}s scale-down: {target.name} "
+                               "draining")
+                next_sample = now + self.autoscaler.sample_interval_s
+            elif kind == "arrival":
+                route(queue[index], now)
+                index += 1
+            else:  # node iteration
+                self.nodes[which].advance(now)
+            timeline.append((now, self._fleet_queue_len()))
+
+        completed = sorted(
+            (record for node in self.nodes for record in node.completed),
+            key=lambda r: r.finish_s)
+        if len(completed) != len(queue):
+            raise RuntimeError(
+                f"cluster lost requests: {len(queue)} arrived, "
+                f"{len(completed)} completed")
+        makespan = max(record.finish_s for record in completed)
+        node_stats = [
+            NodeStats(
+                name=node.name,
+                platform=node.platform.name,
+                busy_s=node.busy_s,
+                utilization=node.busy_s / makespan,
+                iterations=node.iterations,
+                completed=len(node.completed),
+                generated_tokens=node.generated_tokens,
+                peak_queue=node.peak_queue,
+                failed=node.name in failed_names,
+                drained=node.draining and node.name not in failed_names,
+            )
+            for node in self.nodes
+        ]
+        return ClusterReport(
+            router=self.router.name,
+            completed=completed,
+            node_stats=node_stats,
+            makespan_s=makespan,
+            generated_tokens=sum(node.generated_tokens
+                                 for node in self.nodes),
+            wasted_tokens=wasted_tokens,
+            requeued_requests=requeued,
+            queue_depth_timeline=timeline,
+            events=log,
+        )

@@ -76,6 +76,8 @@ def run_chunked() -> ExperimentReport:
         reports[label] = report
         rows.append([
             label, report.throughput, report.mean_ttft_s,
+            # p95 flows through the shared interpolated-percentile helper
+            # (repro.utils.stats), same basis as every other tail metric.
             report.max_decode_gap_s * 1000, report.p95_decode_gap_s * 1000,
         ])
     gap_gain = (reports["continuous"].max_decode_gap_s

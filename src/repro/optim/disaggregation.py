@@ -21,6 +21,7 @@ for data centers "where GPU resources are fully occupied".
 import dataclasses
 
 from repro.analysis.cost import list_price
+from repro.hardware.datatypes import DType
 from repro.core.runner import run_inference
 from repro.engine.inference import InferenceSimulator
 from repro.engine.request import InferenceRequest
@@ -28,6 +29,20 @@ from repro.hardware.platform import Platform
 from repro.models.config import ModelConfig
 from repro.models.memory import kv_cache_bytes
 from repro.offload.policy import DEFAULT_OFFLOAD_CALIBRATION
+
+
+def phase_affinity(platform: Platform, dtype: DType = DType.BF16) -> float:
+    """Compute-to-bandwidth balance of a platform (FLOP/s per byte/s).
+
+    The scalar behind this module's phase split: prefill is compute-bound
+    and belongs on high-affinity (compute-rich) devices — GPUs, AMX CPUs
+    — while decode is memory-bound and belongs on low-affinity
+    (bandwidth-rich) ones. Numerically this is the platform's roofline
+    ridge point in FLOPs/byte. The fleet router generalizes the planner's
+    two-device split with it
+    (:class:`repro.cluster.router.PhaseAwareRouter`).
+    """
+    return platform.peak_flops(dtype) / platform.peak_memory_bandwidth
 
 
 @dataclasses.dataclass(frozen=True)

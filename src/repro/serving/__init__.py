@@ -1,6 +1,11 @@
 """Serving substrate: arrivals, batching policies, SLO analysis."""
 
-from repro.serving.arrivals import ArrivingRequest, poisson_arrivals
+from repro.serving.arrivals import (
+    ArrivingRequest,
+    bursty_arrivals,
+    merge_arrivals,
+    poisson_arrivals,
+)
 from repro.serving.scheduler import (
     BatchingSimulator,
     CompletedRequest,
@@ -36,5 +41,7 @@ __all__ = [
     "attainment",
     "goodput",
     "max_sustainable_rate",
+    "bursty_arrivals",
+    "merge_arrivals",
     "poisson_arrivals",
 ]

@@ -39,6 +39,13 @@ class ArrivingRequest:
     output_len: int
 
 
+def _spec_ranges(spec: Optional[object]) -> Tuple[Tuple[int, int],
+                                                  Tuple[int, int]]:
+    if spec is None:
+        return _DEFAULT_INPUT_RANGE, _DEFAULT_OUTPUT_RANGE
+    return spec.input_len_range, spec.output_len_range
+
+
 def poisson_arrivals(rate_per_s: float, count: int,
                      spec: Optional[object] = None,
                      seed: int = 0) -> List[ArrivingRequest]:
@@ -52,10 +59,7 @@ def poisson_arrivals(rate_per_s: float, count: int,
     """
     require_positive(rate_per_s, "rate_per_s")
     require_positive(count, "count")
-    input_range = (spec.input_len_range if spec is not None
-                   else _DEFAULT_INPUT_RANGE)
-    output_range = (spec.output_len_range if spec is not None
-                    else _DEFAULT_OUTPUT_RANGE)
+    input_range, output_range = _spec_ranges(spec)
     rng = random.Random(seed)
     now = 0.0
     requests: List[ArrivingRequest] = []
@@ -68,3 +72,56 @@ def poisson_arrivals(rate_per_s: float, count: int,
             output_len=rng.randint(*output_range),
         ))
     return requests
+
+
+def bursty_arrivals(base_rate_per_s: float, burst_rate_per_s: float,
+                    count: int, spec: Optional[object] = None,
+                    burst_s: float = 10.0, period_s: float = 60.0,
+                    seed: int = 0) -> List[ArrivingRequest]:
+    """Generate a two-phase (on/off) bursty arrival stream.
+
+    Each *period_s* cycle opens with a *burst_s* window at
+    *burst_rate_per_s* and relaxes to *base_rate_per_s* for the rest —
+    the diurnal-burst pattern autoscalers and routers are sized against,
+    where a steady-rate Poisson stream would flatter every policy.
+    Inter-arrival gaps are exponential at whichever rate governs the
+    current instant. Same *spec* contract and determinism guarantees as
+    :func:`poisson_arrivals`.
+    """
+    require_positive(base_rate_per_s, "base_rate_per_s")
+    require_positive(burst_rate_per_s, "burst_rate_per_s")
+    require_positive(count, "count")
+    require_positive(burst_s, "burst_s")
+    if period_s <= burst_s:
+        raise ValueError(f"period_s ({period_s}) must exceed burst_s "
+                         f"({burst_s})")
+    input_range, output_range = _spec_ranges(spec)
+    rng = random.Random(seed)
+    now = 0.0
+    requests: List[ArrivingRequest] = []
+    for request_id in range(count):
+        in_burst = (now % period_s) < burst_s
+        rate = burst_rate_per_s if in_burst else base_rate_per_s
+        now += rng.expovariate(rate)
+        requests.append(ArrivingRequest(
+            request_id=request_id,
+            arrival_s=now,
+            input_len=rng.randint(*input_range),
+            output_len=rng.randint(*output_range),
+        ))
+    return requests
+
+
+def merge_arrivals(*streams: List[ArrivingRequest]) -> List[ArrivingRequest]:
+    """Interleave arrival streams by time and renumber request ids.
+
+    Builds mixed workloads — e.g. a chatbot stream plus a prefill-heavy
+    analytics stream — whose phase balance differs per request, which is
+    what heterogeneous routing policies discriminate on.
+    """
+    merged = sorted((request for stream in streams for request in stream),
+                    key=lambda r: r.arrival_s)
+    if not merged:
+        raise ValueError("no arrivals to merge")
+    return [dataclasses.replace(request, request_id=index)
+            for index, request in enumerate(merged)]

@@ -28,6 +28,7 @@ from repro.hardware.platform import Platform
 from repro.models.config import ModelConfig
 from repro.models.opgraph import decode_step_ops, prefill_ops
 from repro.serving.arrivals import ArrivingRequest
+from repro.utils.stats import percentile
 from repro.utils.validation import require_positive
 
 
@@ -95,9 +96,8 @@ class ServingReport:
 
     @property
     def p95_ttft_s(self) -> float:
-        """95th-percentile TTFT."""
-        ttfts = sorted(r.ttft_s for r in self.completed)
-        return ttfts[min(len(ttfts) - 1, int(0.95 * len(ttfts)))]
+        """95th-percentile TTFT (linear interpolation)."""
+        return percentile([r.ttft_s for r in self.completed], 95)
 
     @property
     def mean_e2e_s(self) -> float:
@@ -111,11 +111,10 @@ class ServingReport:
 
     @property
     def p95_decode_gap_s(self) -> float:
-        """95th-percentile inter-token gap."""
+        """95th-percentile inter-token gap (linear interpolation)."""
         if not self.decode_gaps:
             return 0.0
-        gaps = sorted(self.decode_gaps)
-        return gaps[min(len(gaps) - 1, int(0.95 * len(gaps)))]
+        return percentile(self.decode_gaps, 95)
 
 
 @dataclasses.dataclass
@@ -235,55 +234,32 @@ class BatchingSimulator:
 
     def run_continuous(self,
                        arrivals: Sequence[ArrivingRequest]) -> ServingReport:
-        """Orca-style iteration-level scheduling with immediate admission."""
-        queue = sorted(arrivals, key=lambda r: r.arrival_s)
-        index = 0
-        now = 0.0
-        running: List[_Running] = []
-        completed: List[CompletedRequest] = []
-        gaps: List[float] = []
-        generated = 0
+        """Orca-style iteration-level scheduling with immediate admission.
 
-        while index < len(queue) or running:
-            if not running and index < len(queue):
-                now = max(now, queue[index].arrival_s)
-            # Admit everything that has arrived, up to capacity; each
-            # admission pays its prefill pass (chunked-prefill systems
-            # interleave this; we charge it serially, which is the
-            # conservative choice for continuous batching). While an
-            # admission prefill runs, already-running sequences stall —
-            # the inter-token gap chunked prefill exists to bound.
-            stall = 0.0
-            while (index < len(queue) and len(running) < self.max_batch
-                   and queue[index].arrival_s <= now):
-                request = queue[index]
-                index += 1
-                start = now
-                prefill = self._prefill_time(1, request.input_len)
-                now += prefill
-                if running:
-                    stall += prefill
-                running.append(_Running(request=request, start_s=start,
-                                        first_token_s=now, generated=1))
-            # Retire sequences that are already done (output_len == 1).
-            running, retired = self._retire(running, now)
-            for seq in retired:
-                completed.append(self._complete(seq, now))
-                generated += seq.request.output_len
-            if not running:
-                continue
-            # One decode iteration for the whole running set.
-            mean_kv = int(sum(seq.kv_len for seq in running) / len(running))
-            iteration = self._decode_iteration_time(len(running), mean_kv)
-            now += iteration
-            gaps.append(stall + iteration)
-            for seq in running:
-                seq.generated += 1
-        completed.sort(key=lambda r: r.finish_s)
+        Each scheduler iteration admits everything that has arrived, up
+        to capacity — each admission pays its prefill pass serially, and
+        while an admission prefill runs, already-running sequences stall
+        (the inter-token gap chunked prefill exists to bound) — then
+        retires finished sequences and runs one fused decode step.
+
+        The loop itself lives in :class:`repro.cluster.node.ReplicaNode`
+        (the iteration-steppable form the fleet simulator interleaves);
+        this method drives one node over the whole trace.
+        """
+        # Imported here: the cluster layer sits above serving, and only
+        # this whole-trace convenience wrapper reaches up into it.
+        from repro.cluster.node import ReplicaNode
+
+        node = ReplicaNode("single", simulator=self)
+        for request in sorted(arrivals, key=lambda r: r.arrival_s):
+            node.submit(request)
+        while node.has_work:
+            node.advance()
+        completed = sorted(node.completed, key=lambda r: r.finish_s)
         return ServingReport("continuous", completed,
                              makespan_s=max(r.finish_s for r in completed),
-                             generated_tokens=generated,
-                             decode_gaps=gaps)
+                             generated_tokens=node.generated_tokens,
+                             decode_gaps=node.decode_gaps)
 
     # -- chunked prefill --------------------------------------------------------
 

@@ -5,6 +5,7 @@ import them without cycles.
 """
 
 from repro.utils.formatting import format_row, format_table, normalize_series
+from repro.utils.stats import mean, percentile
 from repro.utils.units import (
     GB,
     GHZ,
@@ -46,7 +47,9 @@ __all__ = [
     "seconds_to_ms",
     "format_row",
     "format_table",
+    "mean",
     "normalize_series",
+    "percentile",
     "require_in",
     "require_non_negative",
     "require_positive",

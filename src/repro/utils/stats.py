@@ -1,0 +1,40 @@
+"""Shared descriptive statistics.
+
+One percentile definition for the whole library: linear interpolation
+between order statistics (numpy's default "linear" method). Before this
+helper existed, four call sites hand-rolled index-based percentiles with
+subtly different behaviour — in particular a nearest-rank p99 that
+silently degraded to the maximum on short streams.
+"""
+
+from typing import Sequence
+
+from repro.utils.validation import require_positive
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The *q*-th percentile of *values* by linear interpolation.
+
+    Matches ``numpy.percentile(values, q)`` (the "linear" method): the
+    rank ``q/100 * (n - 1)`` is split into an integer part and a
+    fractional part, and the result interpolates between the two
+    neighbouring order statistics. ``q`` must lie in [0, 100]; *values*
+    must be non-empty (a percentile of nothing is undefined, so this
+    raises rather than guessing).
+    """
+    if not 0 <= q <= 100:
+        raise ValueError(f"q must be in [0, 100], got {q!r}")
+    require_positive(len(values), "len(values)")
+    ordered = sorted(values)
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lower = int(rank)
+    fraction = rank - lower
+    if fraction == 0.0 or lower + 1 >= len(ordered):
+        return ordered[lower]
+    return ordered[lower] + fraction * (ordered[lower + 1] - ordered[lower])
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean of a non-empty sequence."""
+    require_positive(len(values), "len(values)")
+    return sum(values) / len(values)

@@ -14,6 +14,7 @@ from repro.engine.inference import DEFAULT_ENGINE_CONFIG, EngineConfig
 from repro.engine.request import InferenceRequest
 from repro.hardware.platform import Platform
 from repro.models.config import ModelConfig
+from repro.utils.stats import percentile
 from repro.workloads.generator import total_tokens
 
 
@@ -27,8 +28,12 @@ class ServingStats:
         total_time_s: Sum of request E2E times (sequential serving).
         generated_tokens: Tokens produced across the stream.
         mean_ttft_s / mean_tpot_s: Stream-average latency metrics.
-        p99_ttft_s: Worst-case-ish TTFT across the stream (max for small
-            streams; the 99th percentile for longer ones).
+        p99_ttft_s: 99th-percentile TTFT via
+            :func:`repro.utils.stats.percentile` (linear interpolation).
+            Behaviour change: this used to be a nearest-rank index that
+            silently returned the stream *maximum* for short streams; it
+            now interpolates between order statistics, so p99 means the
+            same thing here as everywhere else in the library.
     """
 
     platform: str
@@ -56,9 +61,8 @@ def serve(platform: Platform, model: ModelConfig,
         run_inference(platform, model, request, config)
         for request in requests
     ]
-    ttfts = sorted(r.ttft_s for r in results)
+    ttfts = [r.ttft_s for r in results]
     tpots = [r.tpot_s for r in results if r.tpot_s > 0]
-    p99_index = min(len(ttfts) - 1, int(0.99 * len(ttfts)))
     return ServingStats(
         platform=platform.name,
         model=model.name,
@@ -67,5 +71,5 @@ def serve(platform: Platform, model: ModelConfig,
         generated_tokens=total_tokens(requests),
         mean_ttft_s=sum(ttfts) / len(ttfts),
         mean_tpot_s=sum(tpots) / len(tpots) if tpots else 0.0,
-        p99_ttft_s=ttfts[p99_index],
+        p99_ttft_s=percentile(ttfts, 99),
     )

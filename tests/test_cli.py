@@ -54,6 +54,30 @@ class TestExperimentCommand:
         assert "known ids" in capsys.readouterr().err
 
 
+class TestClusterCommand:
+    def test_cluster_fleet_summary(self, capsys):
+        assert main(["cluster", "--platforms", "spr,h100",
+                     "--model", "llama2-7b", "--rate", "1.0",
+                     "--requests", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "router=phase_aware" in out
+        assert "SPR-Max-9468" in out and "H100-80GB" in out
+        assert "goodput" in out and "$/Mtok" in out
+
+    def test_cluster_bursty_round_robin(self, capsys):
+        assert main(["cluster", "--platforms", "spr,spr",
+                     "--model", "opt-1.3b", "--router", "round_robin",
+                     "--rate", "0.5", "--burst-rate", "4.0",
+                     "--requests", "8"]) == 0
+        assert "router=round_robin" in capsys.readouterr().out
+
+    def test_cluster_rejects_unknown_router(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cluster", "--platforms", "spr",
+                                       "--model", "opt-1.3b",
+                                       "--router", "random"])
+
+
 class TestInfoCommands:
     def test_platforms(self, capsys):
         assert main(["platforms"]) == 0

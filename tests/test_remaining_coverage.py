@@ -59,10 +59,15 @@ class TestRooflineChartGeometry:
 
 
 class TestServingStatsMath:
-    def test_p99_is_max_for_small_streams(self):
+    def test_p99_interpolates_near_max_for_small_streams(self):
         requests = generate_requests(chatbot_workload(), 4, seed=2)
+        results = [serve(get_platform("spr"), get_model("opt-1.3b"), [r])
+                   for r in requests]
         stats = serve(get_platform("spr"), get_model("opt-1.3b"), requests)
-        # With 4 samples, the p99 index is the last (sorted) element.
+        # Linear interpolation lands p99 between the two largest TTFTs —
+        # no longer the silent max of the old nearest-rank index.
+        ttfts = sorted(s.mean_ttft_s for s in results)
+        assert ttfts[-2] <= stats.p99_ttft_s <= ttfts[-1]
         assert stats.p99_ttft_s >= stats.mean_ttft_s
 
     def test_throughput_definition(self):

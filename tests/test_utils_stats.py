@@ -1,0 +1,54 @@
+"""Shared percentile/mean helper tests."""
+
+import pytest
+
+from repro.utils.stats import mean, percentile
+
+
+class TestPercentile:
+    def test_median_interpolates_between_order_statistics(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50) == 2.5
+
+    def test_quartile_interpolation(self):
+        # rank = 0.25 * 2 = 0.5 -> halfway between 10 and 20.
+        assert percentile([30.0, 10.0, 20.0], 25) == 15.0
+
+    def test_endpoints_are_min_and_max(self):
+        values = [7.0, 3.0, 9.0, 1.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 9.0
+
+    def test_single_element(self):
+        assert percentile([42.0], 99) == 42.0
+
+    def test_input_order_is_irrelevant(self):
+        assert (percentile([5.0, 1.0, 3.0], 75)
+                == percentile([1.0, 3.0, 5.0], 75))
+
+    def test_matches_numpy_linear_method(self):
+        values = [1.0, 2.0, 4.0, 8.0, 16.0]
+        # numpy.percentile(values, 90) == 12.8
+        assert percentile(values, 90) == pytest.approx(12.8)
+
+    def test_p99_below_max_on_large_stream(self):
+        values = [float(v) for v in range(101)]
+        assert percentile(values, 99) == pytest.approx(99.0)
+        assert percentile(values, 99) < max(values)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    @pytest.mark.parametrize("q", [-1, 100.5, 1000])
+    def test_out_of_range_q_rejected(self, q):
+        with pytest.raises(ValueError, match="q must be"):
+            percentile([1.0, 2.0], q)
+
+
+class TestMean:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 6.0]) == 3.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean([])
