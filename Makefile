@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-figures bench-json
+.PHONY: test bench bench-figures bench-json trace
 
 # Tier-1 test suite (must stay green).
 test:
@@ -18,6 +18,12 @@ bench:
 bench-json: bench
 
 # Per-figure benchmark harness (pytest-benchmark), including the
-# perf-regression guard in benchmarks/test_perf_regression.py.
+# perf-regression guard in benchmarks/test_perf_regression.py and the
+# tracing noop-overhead guard in benchmarks/test_trace_overhead.py.
 bench-figures:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Tracing demo: record a bursty two-replica fleet, render the ASCII
+# timeline + attribution tables, and write a Perfetto-loadable JSON.
+trace:
+	$(PYTHON) -m repro trace --out trace.json

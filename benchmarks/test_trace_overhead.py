@@ -1,0 +1,113 @@
+"""Bench: tracing must cost nothing when disabled.
+
+Every hot loop in the scheduler/cluster layer now carries trace emission
+guarded by ``if tracer.enabled:``. The contract is that the default
+(:data:`~repro.trace.NOOP_TRACER`) path pays only that attribute read —
+no span construction, no argument dicts. This bench runs the
+continuous-batching scheduler over a sizeable arrival stream with an
+explicit :class:`~repro.trace.NoopTracer` and compares against the
+default call (the same noop path — defaults *are* the noop tracer, so
+this guards the guard: if someone makes emission unconditional or puts
+work ahead of the ``enabled`` check, both legs inherit it and the
+recording comparison below catches the cost).
+
+Two assertions:
+
+* explicit NoopTracer within **2%** of the default call (ISSUE bound;
+  identical code path, so only a broken guard or pathological tracer
+  dispatch can trip it);
+* a :class:`~repro.trace.RecordingTracer` run stays within a loose
+  informational factor — recording is allowed to cost real time, but a
+  blowup here means emission crept inside an inner loop it should not
+  be in.
+
+Run with::
+
+    pytest benchmarks/test_trace_overhead.py --benchmark-only
+"""
+
+import timeit
+
+from repro.hardware.registry import get_platform
+from repro.models.registry import get_model
+from repro.serving.arrivals import poisson_arrivals
+from repro.serving.scheduler import BatchingSimulator
+from repro.trace import NoopTracer, RecordingTracer
+from repro.workloads.generator import chatbot_workload
+
+MAX_NOOP_OVERHEAD = 0.02     # the ISSUE's bound: <2% vs the untraced call
+MAX_RECORDING_FACTOR = 5.0   # informational ceiling for full recording
+
+REQUESTS = 48
+RATE = 4.0
+SEED = 7
+
+
+def _scheduler_and_arrivals():
+    simulator = BatchingSimulator(get_platform("spr"),
+                                  get_model("llama2-7b"), max_batch=8)
+    arrivals = poisson_arrivals(RATE, REQUESTS, chatbot_workload(),
+                                seed=SEED)
+    return simulator, arrivals
+
+
+def _interleaved_mins(fn_a, fn_b, rounds=15):
+    """Min-of-rounds for both callables, alternating A/B each round.
+
+    Comparing a long benchmark-fixture run against a short timeit run
+    biases the ratio (thermal/allocator drift lands on one leg only);
+    interleaving gives both legs the same noise environment, and the
+    mins of identical code paths then agree to well under a percent.
+    """
+    best_a = best_b = float("inf")
+    for _ in range(rounds):
+        best_a = min(best_a, timeit.timeit(fn_a, number=1))
+        best_b = min(best_b, timeit.timeit(fn_b, number=1))
+    return best_a, best_b
+
+
+def test_noop_tracer_overhead(benchmark):
+    simulator, arrivals = _scheduler_and_arrivals()
+    simulator.run_continuous(arrivals)  # warm caches and code paths
+
+    noop = NoopTracer()
+    benchmark(lambda: simulator.run_continuous(arrivals, tracer=noop))
+
+    noop_s, default_s = _interleaved_mins(
+        lambda: simulator.run_continuous(arrivals, tracer=noop),
+        lambda: simulator.run_continuous(arrivals))
+    overhead = noop_s / default_s - 1.0
+    assert overhead <= MAX_NOOP_OVERHEAD, (
+        f"NoopTracer costs {overhead:+.1%} over the untraced scheduler "
+        f"(bound {MAX_NOOP_OVERHEAD:.0%}): a tracer guard is broken or "
+        "emission work moved ahead of the `tracer.enabled` check")
+
+    # Both runs must produce identical simulation outcomes.
+    untraced = simulator.run_continuous(arrivals)
+    traced = simulator.run_continuous(arrivals, tracer=NoopTracer())
+    assert untraced.makespan_s == traced.makespan_s
+    assert len(untraced.completed) == len(traced.completed)
+
+
+def test_recording_tracer_stays_sane(benchmark):
+    simulator, arrivals = _scheduler_and_arrivals()
+    simulator.run_continuous(arrivals)  # warm
+
+    benchmark(lambda: simulator.run_continuous(arrivals,
+                                               tracer=RecordingTracer()))
+
+    recording_s, default_s = _interleaved_mins(
+        lambda: simulator.run_continuous(arrivals,
+                                         tracer=RecordingTracer()),
+        lambda: simulator.run_continuous(arrivals),
+        rounds=7)
+    factor = recording_s / default_s
+    assert factor <= MAX_RECORDING_FACTOR, (
+        f"recording costs {factor:.1f}x the untraced run (ceiling "
+        f"{MAX_RECORDING_FACTOR}x): span emission has crept into an "
+        "inner loop")
+
+    tracer = RecordingTracer()
+    report = simulator.run_continuous(arrivals, tracer=tracer)
+    # Every completed request recorded a root span.
+    assert len(tracer.trace.request_ids()) == len(report.completed)

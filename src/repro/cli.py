@@ -7,12 +7,15 @@ Usage::
     python -m repro experiment fig8
     python -m repro experiment --all
     python -m repro cluster --platforms spr,spr,h100 --model llama2-7b
+    python -m repro cluster --platforms spr,spr --model llama2-7b --trace out.json
+    python -m repro trace --out trace.json
     python -m repro roofline --platform spr --model llama2-13b
     python -m repro platforms
     python -m repro models
 """
 
 import argparse
+import pathlib
 import sys
 from typing import List, Optional
 
@@ -99,38 +102,71 @@ def _cmd_roofline(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_cluster(args: argparse.Namespace) -> int:
-    from repro.cluster import (
-        ClusterSimulator,
-        JoinShortestQueueRouter,
-        LeastOutstandingTokensRouter,
-        PhaseAwareRouter,
-        ReplicaNode,
-        RoundRobinRouter,
-    )
-    from repro.serving.arrivals import bursty_arrivals, poisson_arrivals
-    from repro.serving.slo import SLO
+def _build_fleet(args: argparse.Namespace, model) -> list:
+    from repro.cluster import ReplicaNode
 
-    model = get_model(args.model)
-    nodes = [
+    return [
         ReplicaNode(f"{key}-{index}", get_platform(key), model,
                     max_batch=args.batch)
         for index, key in enumerate(args.platforms.split(","))
     ]
-    slo = SLO(ttft_s=args.ttft, tpot_s=args.tpot)
-    routers = {
+
+
+def _build_router(args: argparse.Namespace, slo):
+    from repro.cluster import (
+        JoinShortestQueueRouter,
+        LeastOutstandingTokensRouter,
+        PhaseAwareRouter,
+        RoundRobinRouter,
+    )
+
+    return {
         "round_robin": lambda: RoundRobinRouter(),
         "jsq": lambda: JoinShortestQueueRouter(),
         "least_tokens": lambda: LeastOutstandingTokensRouter(),
         "phase_aware": lambda: PhaseAwareRouter(slo=slo),
-    }
+    }[args.router]()
+
+
+def _build_arrivals(args: argparse.Namespace) -> list:
+    from repro.serving.arrivals import bursty_arrivals, poisson_arrivals
+
     if args.burst_rate:
-        arrivals = bursty_arrivals(args.rate, args.burst_rate,
-                                   args.requests, seed=args.seed)
-    else:
-        arrivals = poisson_arrivals(args.rate, args.requests,
-                                    seed=args.seed)
-    report = ClusterSimulator(nodes, routers[args.router]()).run(arrivals)
+        return bursty_arrivals(args.rate, args.burst_rate,
+                               args.requests, seed=args.seed)
+    return poisson_arrivals(args.rate, args.requests, seed=args.seed)
+
+
+def _trace_destination(path: str) -> Optional[pathlib.Path]:
+    """Resolve a trace output path, or None (with a message) if unusable."""
+    destination = pathlib.Path(path)
+    if not destination.parent.exists():
+        print(f"error: cannot write trace to {destination}: directory "
+              f"{destination.parent} does not exist (create it first, "
+              f"e.g. mkdir -p {destination.parent})", file=sys.stderr)
+        return None
+    return destination
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    from repro.cluster import ClusterSimulator
+    from repro.serving.slo import SLO
+    from repro.trace import NOOP_TRACER, RecordingTracer, write_chrome_trace
+
+    tracer = NOOP_TRACER
+    destination = None
+    if args.trace:
+        # Fail before the simulation runs, not after minutes of work.
+        destination = _trace_destination(args.trace)
+        if destination is None:
+            return 2
+        tracer = RecordingTracer()
+    model = get_model(args.model)
+    nodes = _build_fleet(args, model)
+    slo = SLO(ttft_s=args.ttft, tpot_s=args.tpot)
+    arrivals = _build_arrivals(args)
+    report = ClusterSimulator(nodes, _build_router(args, slo),
+                              tracer=tracer).run(arrivals)
     rows = [[s.name, s.platform, s.completed, s.utilization,
              s.peak_queue] for s in report.node_stats]
     print(format_table(
@@ -143,6 +179,66 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
           f"attainment: {report.attainment(list(arrivals), slo):.0%}   "
           f"goodput: {report.goodput(list(arrivals), slo):.1f} tok/s   "
           f"$/Mtok: {report.dollars_per_million_tokens():.2f}")
+    if destination is not None:
+        write_chrome_trace(tracer.trace, destination)
+        print(f"trace: {len(tracer.trace.spans)} spans -> {destination} "
+              "(load in Perfetto / chrome://tracing)")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.cluster import ClusterSimulator, NodeFailure
+    from repro.serving.slo import SLO
+    from repro.trace import (
+        RecordingTracer,
+        ascii_timeline,
+        batch_occupancy_histogram,
+        request_attribution,
+        write_chrome_trace,
+    )
+
+    destination = None
+    if args.out:
+        destination = _trace_destination(args.out)
+        if destination is None:
+            return 2
+    model = get_model(args.model)
+    nodes = _build_fleet(args, model)
+    slo = SLO(ttft_s=args.ttft, tpot_s=args.tpot)
+    arrivals = _build_arrivals(args)
+    events = []
+    if args.fail_node:
+        events.append(NodeFailure(time_s=args.fail_at, node=args.fail_node))
+    tracer = RecordingTracer()
+    report = ClusterSimulator(nodes, _build_router(args, slo),
+                              events=events, tracer=tracer).run(arrivals)
+    trace = tracer.trace
+
+    print(ascii_timeline(trace, width=args.width))
+    attribution = request_attribution(trace)
+    rows = [[a.request_id, a.queue_s, a.prefill_s, a.decode_s,
+             a.finalize_s + a.lost_s, a.wasted_s, a.total_s]
+            for a in attribution.values()]
+    print()
+    print(format_table(
+        ["request", "queue s", "prefill s", "decode s", "other s",
+         "wasted s", "e2e s"], rows,
+        title="per-request time attribution"))
+    occupancy = batch_occupancy_histogram(trace)
+    busy = sum(occupancy.values())
+    print()
+    print(format_table(
+        ["batch size", "decode s", "share"],
+        [[size, seconds, seconds / busy]
+         for size, seconds in occupancy.items()],
+        title="batch-occupancy histogram (decode time at each size)"))
+    print(f"\n{len(trace.spans)} spans, {len(trace.instants)} instants, "
+          f"{len(trace.counters)} counter samples over "
+          f"{report.makespan_s:.2f}s; mean TTFT "
+          f"{report.mean_ttft_s * 1000:.0f} ms")
+    if destination is not None:
+        write_chrome_trace(trace, destination)
+        print(f"trace: {destination} (load in Perfetto / chrome://tracing)")
     return 0
 
 
@@ -270,7 +366,39 @@ def build_parser() -> argparse.ArgumentParser:
     cluster_parser.add_argument("--tpot", type=float, default=0.2,
                                 help="SLO: seconds per output token")
     cluster_parser.add_argument("--seed", type=int, default=0)
+    cluster_parser.add_argument("--trace", default=None, metavar="PATH",
+                                help="write a Chrome trace-event JSON of "
+                                     "the fleet timeline (open in Perfetto)")
     cluster_parser.set_defaults(func=_cmd_cluster)
+
+    trace_parser = sub.add_parser(
+        "trace", help="record and render a fleet timeline trace")
+    trace_parser.add_argument("--platforms", default="spr,spr",
+                              help="comma-separated replica platforms")
+    trace_parser.add_argument("--model", default="llama2-7b")
+    trace_parser.add_argument("--router", default="phase_aware",
+                              choices=["round_robin", "jsq",
+                                       "least_tokens", "phase_aware"])
+    trace_parser.add_argument("--rate", type=float, default=0.4,
+                              help="baseline arrival rate, requests/s")
+    trace_parser.add_argument("--burst-rate", type=float, default=4.0,
+                              help="burst arrival rate (0 disables bursts)")
+    trace_parser.add_argument("--requests", type=int, default=16)
+    trace_parser.add_argument("--batch", type=int, default=4,
+                              help="per-replica max batch")
+    trace_parser.add_argument("--ttft", type=float, default=2.0)
+    trace_parser.add_argument("--tpot", type=float, default=0.2)
+    trace_parser.add_argument("--seed", type=int, default=23)
+    trace_parser.add_argument("--fail-node", default=None, metavar="NAME",
+                              help="inject a failure of this replica "
+                                   "(e.g. spr-0)")
+    trace_parser.add_argument("--fail-at", type=float, default=10.0,
+                              help="failure injection time, seconds")
+    trace_parser.add_argument("--width", type=int, default=72,
+                              help="ASCII timeline width, characters")
+    trace_parser.add_argument("--out", default=None, metavar="PATH",
+                              help="also write Chrome trace-event JSON here")
+    trace_parser.set_defaults(func=_cmd_trace)
 
     advise_parser = sub.add_parser("advise",
                                    help="recommend a deployment config")

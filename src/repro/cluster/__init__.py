@@ -10,6 +10,7 @@ instead of ceiling division.
 """
 
 from repro.cluster.autoscaler import Autoscaler, NodeTemplate
+from repro.cluster.events import ClusterEvent
 from repro.cluster.metrics import ClusterReport, NodeStats
 from repro.cluster.node import ReplicaNode
 from repro.cluster.router import (
@@ -23,6 +24,7 @@ from repro.cluster.simulator import ClusterSimulator, NodeDrain, NodeFailure
 
 __all__ = [
     "Autoscaler",
+    "ClusterEvent",
     "ClusterReport",
     "ClusterSimulator",
     "JoinShortestQueueRouter",

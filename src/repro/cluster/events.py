@@ -1,0 +1,56 @@
+"""Structured cluster lifecycle events.
+
+The event loop used to keep a prose log (``List[str]``); these records
+are the structured replacement. Each carries the machine-readable facts
+(kind, time, node, details) and knows how to :meth:`render` itself into
+exactly the strings the old log contained, which is what keeps
+``ClusterReport.events`` backward compatible.
+"""
+
+import dataclasses
+from typing import Mapping
+
+#: The event kinds the cluster loop emits.
+FAILURE = "failure"
+DRAIN = "drain"
+ONLINE = "online"
+SCALE_UP = "scale_up"
+SCALE_DOWN = "scale_down"
+
+
+@dataclasses.dataclass(frozen=True)
+class ClusterEvent:
+    """One administrative event observed by the cluster event loop.
+
+    Attributes:
+        kind: One of ``failure``/``drain``/``online``/``scale_up``/
+            ``scale_down``.
+        time_s: Simulation time the event fired.
+        node: Replica the event concerns.
+        details: Kind-specific payload — ``failure`` carries ``requeued``
+            and ``wasted_tokens``; ``online`` carries ``platform``;
+            ``scale_up`` carries ``online_at_s``.
+    """
+
+    kind: str
+    time_s: float
+    node: str
+    details: Mapping[str, object] = dataclasses.field(default_factory=dict)
+
+    def render(self) -> str:
+        """The human-readable log line for this event."""
+        stamp = f"t={self.time_s:.2f}s"
+        if self.kind == FAILURE:
+            return (f"{stamp} {self.node} FAILED: "
+                    f"{self.details['requeued']} requests requeued, "
+                    f"{self.details['wasted_tokens']} tokens wasted")
+        if self.kind == DRAIN:
+            return f"{stamp} {self.node} draining"
+        if self.kind == ONLINE:
+            return f"{stamp} {self.node} online ({self.details['platform']})"
+        if self.kind == SCALE_UP:
+            return (f"{stamp} scale-up ordered ({self.node}, online at "
+                    f"t={self.details['online_at_s']:.2f}s)")
+        if self.kind == SCALE_DOWN:
+            return f"{stamp} scale-down: {self.node} draining"
+        raise ValueError(f"unknown cluster event kind {self.kind!r}")

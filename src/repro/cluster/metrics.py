@@ -12,11 +12,13 @@ import dataclasses
 from typing import List, Tuple
 
 from repro.analysis.cost import LIST_PRICE_USD, list_price
+from repro.cluster.events import ClusterEvent
 from repro.serving.arrivals import ArrivingRequest
 from repro.serving.scheduler import CompletedRequest, ServingReport
 from repro.serving.slo import SLO
 from repro.serving.slo import attainment as _attainment
 from repro.serving.slo import goodput as _goodput
+from repro.utils.stats import mean
 
 #: Amortization window for converting listing prices into $/token: the
 #: 3-year depreciation schedule common for datacenter accelerators.
@@ -65,7 +67,9 @@ class ClusterReport:
         requeued_requests: Requests rescued and rerouted after failures.
         queue_depth_timeline: (time, fleet unadmitted queue) samples,
             one per event-loop step.
-        events: Human-readable log of failures, drains, and scalings.
+        cluster_events: Structured log of failures, drains, and scalings
+            (:class:`~repro.cluster.events.ClusterEvent`); the legacy
+            string view is the :attr:`events` property.
     """
 
     router: str
@@ -76,7 +80,17 @@ class ClusterReport:
     wasted_tokens: int
     requeued_requests: int
     queue_depth_timeline: List[Tuple[float, int]]
-    events: List[str] = dataclasses.field(default_factory=list)
+    cluster_events: List[ClusterEvent] = dataclasses.field(
+        default_factory=list)
+
+    @property
+    def events(self) -> List[str]:
+        """Human-readable log lines, rendered from the structured events.
+
+        Backward-compatible view: each line is exactly what the event
+        loop used to append to its prose log.
+        """
+        return [event.render() for event in self.cluster_events]
 
     @property
     def throughput(self) -> float:
@@ -86,8 +100,7 @@ class ClusterReport:
     @property
     def mean_ttft_s(self) -> float:
         """Fleet-wide mean arrival-to-first-token latency."""
-        return (sum(r.ttft_s for r in self.completed)
-                / len(self.completed))
+        return mean([r.ttft_s for r in self.completed])
 
     @property
     def fleet_price_usd(self) -> float:

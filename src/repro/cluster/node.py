@@ -35,6 +35,8 @@ from repro.hardware.platform import Platform
 from repro.models.config import ModelConfig
 from repro.serving.arrivals import ArrivingRequest
 from repro.serving.scheduler import BatchingSimulator, CompletedRequest, _Running
+from repro.trace.spans import replica_track, request_track
+from repro.trace.tracer import NOOP_TRACER, Tracer
 
 
 @dataclasses.dataclass(frozen=True)
@@ -62,18 +64,24 @@ class ReplicaNode:
         config: Engine configuration for CPU platforms.
         simulator: Pre-built cost model; built from the other arguments
             when omitted (the single-node runner passes its own).
+        tracer: Span sink for this node's request/replica timeline; the
+            default no-op discards everything (the cluster simulator
+            re-points this at its own tracer when it adopts a node).
     """
 
     def __init__(self, name: str, platform: Optional[Platform] = None,
                  model: Optional[ModelConfig] = None, max_batch: int = 8,
                  config: EngineConfig = DEFAULT_ENGINE_CONFIG,
-                 simulator: Optional[BatchingSimulator] = None):
+                 simulator: Optional[BatchingSimulator] = None,
+                 tracer: Tracer = NOOP_TRACER):
         if simulator is None:
             if platform is None or model is None:
                 raise ValueError("ReplicaNode needs platform+model or a "
                                  "pre-built BatchingSimulator")
             simulator = BatchingSimulator(platform, model, max_batch, config)
         self.name = name
+        self.tracer = tracer
+        self._track = replica_track(name)
         self._sim = simulator
         self.clock = 0.0
         self.pending: List[_QueuedRequest] = []
@@ -195,6 +203,7 @@ class ReplicaNode:
         if start is None:
             return []
         self.clock = start
+        tracer = self.tracer
         stall = 0.0
         while (self.pending and len(self.running) < self.max_batch
                and self.pending[0].ready_s <= self.clock):
@@ -208,7 +217,30 @@ class ReplicaNode:
                 stall += prefill
             self.running.append(_Running(request=request, start_s=start_s,
                                          first_token_s=self.clock,
-                                         generated=1))
+                                         generated=1,
+                                         last_event_s=self.clock))
+            if tracer.enabled:
+                # queue_wait starts at ready_s (== arrival for normal
+                # routes, the requeue stamp for failure-rescued work) so
+                # a requeued request's spans stay non-overlapping.
+                track = request_track(request.request_id)
+                tracer.span(track, "queue_wait", queued.ready_s, start_s,
+                            category="request", args={"replica": self.name})
+                compute_s, memory_s = self._sim._prefill_split(
+                    1, request.input_len)
+                tracer.span(track, "prefill", start_s, self.clock,
+                            category="request",
+                            args={"replica": self.name,
+                                  "input_len": request.input_len,
+                                  "compute_s": compute_s,
+                                  "memory_s": memory_s})
+                tracer.span(self._track, "prefill", start_s, self.clock,
+                            category="replica",
+                            args={"request_id": request.request_id,
+                                  "input_len": request.input_len,
+                                  "batch_size": len(self.running),
+                                  "compute_s": compute_s,
+                                  "memory_s": memory_s})
         completed_now: List[CompletedRequest] = []
         self.running, retired = BatchingSimulator._retire(self.running,
                                                           self.clock)
@@ -217,16 +249,53 @@ class ReplicaNode:
             self.completed.append(record)
             completed_now.append(record)
             self.generated_tokens += seq.request.output_len
+            if tracer.enabled:
+                track = request_track(seq.request.request_id)
+                if self.clock > seq.last_event_s:
+                    # Retirement happens at the next iteration boundary;
+                    # admission prefills in that iteration delay it.
+                    tracer.span(track, "finalize", seq.last_event_s,
+                                self.clock, category="request",
+                                args={"replica": self.name})
+                tracer.span(track, "request", record.arrival_s,
+                            record.finish_s, category="request",
+                            args={"replica": self.name,
+                                  "input_len": seq.request.input_len,
+                                  "output_len": seq.request.output_len})
         if self.running:
             mean_kv = int(sum(seq.kv_len for seq in self.running)
                           / len(self.running))
             iteration = self._sim._decode_iteration_time(len(self.running),
                                                          mean_kv)
+            decode_start = self.clock
             self.clock += iteration
             self.busy_s += iteration
             self.decode_gaps.append(stall + iteration)
+            if tracer.enabled:
+                compute_s, memory_s = self._sim._decode_split(
+                    len(self.running), mean_kv)
+                tracer.span(self._track, "decode", decode_start, self.clock,
+                            category="replica",
+                            args={"batch_size": len(self.running),
+                                  "mean_kv": mean_kv,
+                                  "compute_s": compute_s,
+                                  "memory_s": memory_s})
+                tracer.counter(self._track, "batch_size", decode_start,
+                               len(self.running))
             for seq in self.running:
                 seq.generated += 1
+                if tracer.enabled:
+                    # The token span starts at this sequence's previous
+                    # token (covering any admission-prefill stall), so a
+                    # request's decode spans tile first-token→last-token.
+                    tracer.span(request_track(seq.request.request_id),
+                                f"decode[{seq.generated - 1}]",
+                                seq.last_event_s, self.clock,
+                                category="request",
+                                args={"replica": self.name,
+                                      "kv_len": seq.kv_len,
+                                      "batch_size": len(self.running)})
+                seq.last_event_s = self.clock
         self.iterations += 1
         return completed_now
 

@@ -26,10 +26,20 @@ import dataclasses
 from typing import List, Optional, Sequence, Tuple
 
 from repro.cluster.autoscaler import Autoscaler
+from repro.cluster.events import (
+    DRAIN,
+    FAILURE,
+    ONLINE,
+    SCALE_DOWN,
+    SCALE_UP,
+    ClusterEvent,
+)
 from repro.cluster.metrics import ClusterReport, NodeStats
 from repro.cluster.node import ReplicaNode
 from repro.cluster.router import Router
 from repro.serving.arrivals import ArrivingRequest
+from repro.trace.spans import CLUSTER_TRACK, request_track
+from repro.trace.tracer import NOOP_TRACER, Tracer
 
 # Same-timestamp dispatch order (see module docstring).
 _RANK_ADMIN = 0
@@ -63,11 +73,15 @@ class ClusterSimulator:
             while the simulation runs.
         events: Scheduled :class:`NodeFailure` / :class:`NodeDrain`
             events.
+        tracer: Timeline sink; replaces every adopted node's tracer so
+            the whole fleet records into one trace. The default no-op
+            discards everything.
     """
 
     def __init__(self, nodes: Sequence[ReplicaNode], router: Router,
                  autoscaler: Optional[Autoscaler] = None,
-                 events: Sequence[object] = ()):
+                 events: Sequence[object] = (),
+                 tracer: Tracer = NOOP_TRACER):
         if not nodes:
             raise ValueError("a cluster needs at least one replica")
         names = [node.name for node in nodes]
@@ -77,6 +91,9 @@ class ClusterSimulator:
         self.router = router
         self.autoscaler = autoscaler
         self.scheduled = sorted(events, key=lambda e: e.time_s)
+        self.tracer = tracer
+        for node in self.nodes:
+            node.tracer = tracer
 
     # -- helpers --------------------------------------------------------------
 
@@ -106,10 +123,17 @@ class ClusterSimulator:
         next_sample = (self.autoscaler.sample_interval_s
                        if self.autoscaler else None)
         timeline: List[Tuple[float, int]] = []
-        log: List[str] = []
+        log: List[ClusterEvent] = []
+        tracer = self.tracer
         wasted_tokens = 0
         requeued = 0
         failed_names = set()
+
+        def record(event: ClusterEvent) -> None:
+            log.append(event)
+            if tracer.enabled:
+                tracer.instant(CLUSTER_TRACK, event.kind, event.time_s,
+                               args={"node": event.node, **event.details})
 
         def route(request: ArrivingRequest, now: float,
                   ready_s: Optional[float] = None) -> None:
@@ -151,44 +175,52 @@ class ClusterSimulator:
                         failed_names.add(target.name)
                         wasted_tokens += wasted
                         requeued += len(lost)
-                        log.append(f"t={now:.2f}s {target.name} FAILED: "
-                                   f"{len(lost)} requests requeued, "
-                                   f"{wasted} tokens wasted")
+                        record(ClusterEvent(FAILURE, now, target.name,
+                                            {"requeued": len(lost),
+                                             "wasted_tokens": wasted}))
                         for request in sorted(lost,
                                               key=lambda r: r.arrival_s):
+                            if tracer.enabled:
+                                tracer.instant(
+                                    request_track(request.request_id),
+                                    "requeue", now,
+                                    args={"from": target.name})
                             route(request, now, ready_s=now)
                 else:
                     target.drain()
-                    log.append(f"t={now:.2f}s {target.name} draining")
+                    record(ClusterEvent(DRAIN, now, target.name))
             elif kind == "online":
                 provisioning.sort(key=lambda entry: entry[0])
                 _ready, node = provisioning.pop(0)
+                node.tracer = tracer
                 self.nodes.append(node)
-                log.append(f"t={now:.2f}s {node.name} online "
-                           f"({node.platform.name})")
+                record(ClusterEvent(ONLINE, now, node.name,
+                                    {"platform": node.platform.name}))
             elif kind == "sample":
                 decision = self.autoscaler.decide(self.nodes,
                                                   len(provisioning))
                 if decision == "up":
                     node = self.autoscaler.template.build(
                         self.autoscaler.next_name())
-                    provisioning.append(
-                        (now + self.autoscaler.provisioning_lag_s, node))
-                    log.append(f"t={now:.2f}s scale-up ordered "
-                               f"({node.name}, online at "
-                               f"t={now + self.autoscaler.provisioning_lag_s:.2f}s)")
+                    online_at = now + self.autoscaler.provisioning_lag_s
+                    provisioning.append((online_at, node))
+                    record(ClusterEvent(SCALE_UP, now, node.name,
+                                        {"online_at_s": online_at}))
                 elif decision == "down":
                     target = self.autoscaler.pick_drain_target(self.nodes)
                     target.drain()
-                    log.append(f"t={now:.2f}s scale-down: {target.name} "
-                               "draining")
+                    record(ClusterEvent(SCALE_DOWN, now, target.name))
                 next_sample = now + self.autoscaler.sample_interval_s
             elif kind == "arrival":
                 route(queue[index], now)
                 index += 1
             else:  # node iteration
                 self.nodes[which].advance(now)
-            timeline.append((now, self._fleet_queue_len()))
+            depth = self._fleet_queue_len()
+            timeline.append((now, depth))
+            if tracer.enabled:
+                tracer.counter(CLUSTER_TRACK, "fleet_queue_depth", now,
+                               depth)
 
         completed = sorted(
             (record for node in self.nodes for record in node.completed),
@@ -223,5 +255,5 @@ class ClusterSimulator:
             wasted_tokens=wasted_tokens,
             requeued_requests=requeued,
             queue_depth_timeline=timeline,
-            events=log,
+            cluster_events=log,
         )

@@ -10,6 +10,8 @@ conventions.
 import math
 from typing import Dict, Iterable, List, Sequence
 
+from repro.utils.stats import mean as _mean
+
 #: Canonical metric keys, matching ``InferenceResult.summary()``.
 LATENCY_METRICS = ("e2e_s", "ttft_s", "tpot_s")
 THROUGHPUT_METRICS = ("e2e_throughput", "prefill_throughput",
@@ -42,10 +44,14 @@ def geometric_mean(values: Sequence[float]) -> float:
 
 
 def arithmetic_mean(values: Sequence[float]) -> float:
-    """Plain mean (used when averaging absolute metric values)."""
+    """Plain mean (used when averaging absolute metric values).
+
+    Thin alias over :func:`repro.utils.stats.mean`, kept for the
+    paper-convention naming alongside :func:`geometric_mean`.
+    """
     if not values:
         raise ValueError("arithmetic_mean of empty sequence")
-    return sum(values) / len(values)
+    return _mean(values)
 
 
 def average_summaries(summaries: Iterable[Dict[str, float]],

@@ -30,6 +30,8 @@ from repro.scaling.cores import (
     DEFAULT_SCALING_CALIBRATION,
     ScalingCalibration,
 )
+from repro.trace.spans import ENGINE_TRACK
+from repro.trace.tracer import NOOP_TRACER, Tracer
 
 
 class MemoryCapacityError(RuntimeError):
@@ -144,7 +146,8 @@ class InferenceSimulator:
     # -- simulation ----------------------------------------------------------
 
     def run(self, model: ModelConfig, request: InferenceRequest,
-            exact: bool = False) -> InferenceResult:
+            exact: bool = False,
+            tracer: Tracer = NOOP_TRACER) -> InferenceResult:
         """Simulate the full request; raises MemoryCapacityError if too big.
 
         By default the decode phase is priced analytically with
@@ -153,6 +156,12 @@ class InferenceSimulator:
         O(#ops + #breakpoints) instead of O(steps x ops x engines).
         ``exact=True`` keeps the original per-step loop; both agree to
         within floating-point noise (≤1e-9 relative, enforced by tests).
+
+        A recording *tracer* receives phase spans on the ``engine`` track
+        (t=0 at prefill start): one ``prefill`` span, one ``decode`` span
+        with compute/memory busy attribution, and — under ``exact=True``
+        only, where per-step times exist — one ``decode[i]`` span per
+        token.
         """
         footprint = inference_footprint_bytes(
             model, request.max_seq_len, request.batch_size, request.dtype)
@@ -177,13 +186,22 @@ class InferenceSimulator:
             decode = phase_stats_from_timings("decode", [])
         elif exact:
             decode_phases = []
+            step_clock = prefill.time_s
             for step in range(steps):
                 kv_len = request.input_len + step
                 step_timings = executor.time_ops(
                     decode_step_ops(model, request.batch_size, kv_len,
                                     request.dtype))
-                decode_phases.append(
-                    phase_stats_from_timings(f"decode[{step}]", step_timings))
+                step_stats = phase_stats_from_timings(f"decode[{step}]",
+                                                      step_timings)
+                decode_phases.append(step_stats)
+                if tracer.enabled:
+                    tracer.span(ENGINE_TRACK, f"decode[{step}]", step_clock,
+                                step_clock + step_stats.time_s,
+                                category="engine",
+                                args={"kv_len": kv_len,
+                                      "batch_size": request.batch_size})
+                step_clock += step_stats.time_s
                 kv.append_tokens(seq_ids, 1)
             decode = merge_phase_stats("decode", decode_phases)
         else:
@@ -202,6 +220,20 @@ class InferenceSimulator:
                 op_times=dict(rng.op_times),
             )
             kv.append_tokens(seq_ids, steps)
+
+        if tracer.enabled:
+            tracer.span(ENGINE_TRACK, "prefill", 0.0, prefill.time_s,
+                        category="engine",
+                        args={"batch_size": request.batch_size,
+                              "input_len": request.input_len,
+                              "compute_busy_s": prefill.compute_busy_s,
+                              "memory_busy_s": prefill.memory_busy_s})
+            tracer.span(ENGINE_TRACK, "decode", prefill.time_s,
+                        prefill.time_s + decode.time_s, category="engine",
+                        args={"batch_size": request.batch_size,
+                              "steps": steps,
+                              "compute_busy_s": decode.compute_busy_s,
+                              "memory_busy_s": decode.memory_busy_s})
 
         return InferenceResult(
             model_name=model.name,

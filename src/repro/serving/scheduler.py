@@ -28,8 +28,13 @@ from repro.hardware.platform import Platform
 from repro.models.config import ModelConfig
 from repro.models.opgraph import decode_step_ops, prefill_ops
 from repro.serving.arrivals import ArrivingRequest
-from repro.utils.stats import percentile
+from repro.trace.spans import replica_track, request_track
+from repro.trace.tracer import NOOP_TRACER, Tracer
+from repro.utils.stats import mean, percentile
 from repro.utils.validation import require_positive
+
+#: Track name the single-node policies emit replica spans on.
+SERVER_TRACK = replica_track("server")
 
 
 @dataclasses.dataclass
@@ -92,7 +97,7 @@ class ServingReport:
     @property
     def mean_ttft_s(self) -> float:
         """Mean arrival-to-first-token latency."""
-        return sum(r.ttft_s for r in self.completed) / len(self.completed)
+        return mean([r.ttft_s for r in self.completed])
 
     @property
     def p95_ttft_s(self) -> float:
@@ -102,7 +107,7 @@ class ServingReport:
     @property
     def mean_e2e_s(self) -> float:
         """Mean arrival-to-completion latency."""
-        return sum(r.e2e_s for r in self.completed) / len(self.completed)
+        return mean([r.e2e_s for r in self.completed])
 
     @property
     def max_decode_gap_s(self) -> float:
@@ -123,6 +128,7 @@ class _Running:
     start_s: float
     first_token_s: float
     generated: int  # tokens produced so far (prefill's counts as 1)
+    last_event_s: float = 0.0  # end of this sequence's latest span (tracing)
 
     @property
     def kv_len(self) -> int:
@@ -184,9 +190,27 @@ class BatchingSimulator:
                               DType.BF16)
         return sum(t.time_s for t in self._executor.time_ops(ops))
 
+    # Attribution variants: compute/memory leg seconds for trace spans.
+    # Only called while a recording tracer is attached, so the default
+    # path never pays the second pricing pass.
+
+    def _prefill_split(self, batch_size: int, input_len: int):
+        ops = prefill_ops(self.model, batch_size, input_len, DType.BF16)
+        timings = self._executor.time_ops(ops)
+        return (sum(t.compute_s for t in timings),
+                sum(t.memory_s for t in timings))
+
+    def _decode_split(self, batch_size: int, kv_len: int):
+        ops = decode_step_ops(self.model, batch_size, max(1, kv_len),
+                              DType.BF16)
+        timings = self._executor.time_ops(ops)
+        return (sum(t.compute_s for t in timings),
+                sum(t.memory_s for t in timings))
+
     # -- static batching ------------------------------------------------------
 
-    def run_static(self, arrivals: Sequence[ArrivingRequest]) -> ServingReport:
+    def run_static(self, arrivals: Sequence[ArrivingRequest],
+                   tracer: Tracer = NOOP_TRACER) -> ServingReport:
         """FasterTransformer-style: batch runs to completion, then re-admit."""
         queue = sorted(arrivals, key=lambda r: r.arrival_s)
         now = 0.0
@@ -206,10 +230,29 @@ class BatchingSimulator:
             max_output = max(r.output_len for r in batch)
             first_token = start + self._prefill_time(len(batch), max_input)
             now = first_token
+            if tracer.enabled:
+                compute_s, memory_s = self._prefill_split(len(batch),
+                                                          max_input)
+                tracer.span(SERVER_TRACK, "prefill", start, first_token,
+                            category="replica",
+                            args={"batch_size": len(batch),
+                                  "input_len": max_input,
+                                  "compute_s": compute_s,
+                                  "memory_s": memory_s})
             finish_by_id: Dict[int, float] = {}
             for step in range(max_output - 1):
+                step_start = now
                 now += self._decode_iteration_time(len(batch),
                                                    max_input + step)
+                if tracer.enabled:
+                    compute_s, memory_s = self._decode_split(len(batch),
+                                                             max_input + step)
+                    tracer.span(SERVER_TRACK, "decode", step_start, now,
+                                category="replica",
+                                args={"batch_size": len(batch),
+                                      "mean_kv": max_input + step,
+                                      "compute_s": compute_s,
+                                      "memory_s": memory_s})
                 for request in batch:
                     if request.output_len == step + 2:
                         finish_by_id[request.request_id] = now
@@ -225,6 +268,21 @@ class BatchingSimulator:
                     finish_s=finish,
                 ))
                 generated += request.output_len
+                if tracer.enabled:
+                    track = request_track(request.request_id)
+                    tracer.span(track, "queue_wait", request.arrival_s,
+                                start, category="request")
+                    tracer.span(track, "prefill", start, first_token,
+                                category="request",
+                                args={"input_len": request.input_len})
+                    if finish > first_token:
+                        tracer.span(track, "decode", first_token, finish,
+                                    category="request",
+                                    args={"tokens": request.output_len - 1})
+                    tracer.span(track, "request", request.arrival_s, finish,
+                                category="request",
+                                args={"input_len": request.input_len,
+                                      "output_len": request.output_len})
         completed.sort(key=lambda r: r.finish_s)
         return ServingReport("static", completed,
                              makespan_s=max(r.finish_s for r in completed),
@@ -232,8 +290,8 @@ class BatchingSimulator:
 
     # -- continuous batching --------------------------------------------------
 
-    def run_continuous(self,
-                       arrivals: Sequence[ArrivingRequest]) -> ServingReport:
+    def run_continuous(self, arrivals: Sequence[ArrivingRequest],
+                       tracer: Tracer = NOOP_TRACER) -> ServingReport:
         """Orca-style iteration-level scheduling with immediate admission.
 
         Each scheduler iteration admits everything that has arrived, up
@@ -244,13 +302,15 @@ class BatchingSimulator:
 
         The loop itself lives in :class:`repro.cluster.node.ReplicaNode`
         (the iteration-steppable form the fleet simulator interleaves);
-        this method drives one node over the whole trace.
+        this method drives one node over the whole trace. With a
+        recording *tracer*, the node emits request-lifecycle and replica
+        iteration spans (track ``replica/single``).
         """
         # Imported here: the cluster layer sits above serving, and only
         # this whole-trace convenience wrapper reaches up into it.
         from repro.cluster.node import ReplicaNode
 
-        node = ReplicaNode("single", simulator=self)
+        node = ReplicaNode("single", simulator=self, tracer=tracer)
         for request in sorted(arrivals, key=lambda r: r.arrival_s):
             node.submit(request)
         while node.has_work:
@@ -264,7 +324,8 @@ class BatchingSimulator:
     # -- chunked prefill --------------------------------------------------------
 
     def run_chunked(self, arrivals: Sequence[ArrivingRequest],
-                    chunk_tokens: int = 256) -> ServingReport:
+                    chunk_tokens: int = 256,
+                    tracer: Tracer = NOOP_TRACER) -> ServingReport:
         """Sarathi-style chunked prefill fused with decode iterations.
 
         Admission prefills are split into *chunk_tokens*-sized pieces; each
@@ -272,6 +333,10 @@ class BatchingSimulator:
         at most one prefill chunk, so no running sequence ever stalls
         longer than one fused iteration — "dynamically batching without
         stalling ongoing decode" (paper Section VII-C on Sarathi-Serve).
+
+        Traced request ``prefill`` spans cover the admission *window*
+        (first chunk to first token), not busy time — the chunks are
+        interleaved with decode on the ``replica/server`` track.
         """
         require_positive(chunk_tokens, "chunk_tokens")
         queue = sorted(arrivals, key=lambda r: r.arrival_s)
@@ -293,25 +358,53 @@ class BatchingSimulator:
                 index += 1
                 pending.append(_Prefilling(request=request, start_s=now,
                                            remaining=request.input_len))
+                if tracer.enabled:
+                    tracer.span(request_track(request.request_id),
+                                "queue_wait", request.arrival_s, now,
+                                category="request")
             iteration = 0.0
+            chunk_time = 0.0
             # One prefill chunk for the oldest pending admission.
             if pending:
                 job = pending[0]
                 chunk = min(chunk_tokens, job.remaining)
-                iteration += self._prefill_time(1, chunk)
+                chunk_time = self._prefill_time(1, chunk)
+                iteration += chunk_time
                 job.remaining -= chunk
+                if tracer.enabled:
+                    tracer.span(SERVER_TRACK, "prefill", now,
+                                now + chunk_time, category="replica",
+                                args={"request_id": job.request.request_id,
+                                      "chunk_tokens": chunk,
+                                      "remaining": job.remaining})
                 if job.remaining == 0:
                     pending.pop(0)
                     running.append(_Running(
                         request=job.request, start_s=job.start_s,
                         first_token_s=now + iteration, generated=1))
+                    if tracer.enabled:
+                        tracer.span(request_track(job.request.request_id),
+                                    "prefill", job.start_s, now + iteration,
+                                    category="request",
+                                    args={"input_len": job.request.input_len,
+                                          "chunked": True})
             # One decode iteration for the running set.
             decode_cohort = [seq for seq in running if not seq.done]
             if decode_cohort:
                 mean_kv = int(sum(seq.kv_len for seq in decode_cohort)
                               / len(decode_cohort))
-                iteration += self._decode_iteration_time(
+                decode_time = self._decode_iteration_time(
                     len(decode_cohort), mean_kv)
+                iteration += decode_time
+                if tracer.enabled:
+                    compute_s, memory_s = self._decode_split(
+                        len(decode_cohort), mean_kv)
+                    tracer.span(SERVER_TRACK, "decode", now + chunk_time,
+                                now + iteration, category="replica",
+                                args={"batch_size": len(decode_cohort),
+                                      "mean_kv": mean_kv,
+                                      "compute_s": compute_s,
+                                      "memory_s": memory_s})
             if iteration == 0.0:
                 # Nothing to do: jump to the next arrival.
                 if index < len(queue):
@@ -326,6 +419,15 @@ class BatchingSimulator:
             for seq in retired:
                 completed.append(self._complete(seq, now))
                 generated += seq.request.output_len
+                if tracer.enabled:
+                    track = request_track(seq.request.request_id)
+                    tracer.span(track, "decode", seq.first_token_s, now,
+                                category="request",
+                                args={"tokens": seq.request.output_len - 1})
+                    tracer.span(track, "request", seq.request.arrival_s,
+                                now, category="request",
+                                args={"input_len": seq.request.input_len,
+                                      "output_len": seq.request.output_len})
         completed.sort(key=lambda r: r.finish_s)
         return ServingReport("chunked", completed,
                              makespan_s=max(r.finish_s for r in completed),

@@ -1,0 +1,162 @@
+"""Trace exporters: Chrome trace-event JSON and an ASCII timeline.
+
+The JSON exporter emits the Trace Event Format (the ``traceEvents``
+array of ``ph``-typed records) that ``chrome://tracing`` and Perfetto's
+legacy loader accept: complete spans as ``"ph": "X"`` with microsecond
+``ts``/``dur``, instants as ``"ph": "i"``, counters as ``"ph": "C"``,
+plus ``"ph": "M"`` metadata naming processes and threads. Track groups
+("request", "replica", ...) map to processes; track instances map to
+threads, so Perfetto renders one swim-lane per request and per replica
+with phase spans nested by containment.
+"""
+
+import json
+import pathlib
+from typing import Dict, List, Tuple, Union
+
+from repro.trace.spans import Trace
+
+_SECONDS_TO_US = 1e6
+
+
+def _track_ids(trace: Trace) -> Dict[str, Tuple[int, int]]:
+    """Stable (pid, tid) per track: one process per group, one thread
+    per instance. Request threads sort numerically, others lexically."""
+    groups: Dict[str, List[str]] = {}
+    for track in trace.tracks():
+        group, _, _instance = track.partition("/")
+        groups.setdefault(group, []).append(track)
+    ids: Dict[str, Tuple[int, int]] = {}
+    for pid, group in enumerate(sorted(groups), start=1):
+        tracks = groups[group]
+        if group == "request":
+            tracks.sort(key=lambda t: int(t.partition("/")[2] or 0))
+        else:
+            tracks.sort()
+        for tid, track in enumerate(tracks, start=1):
+            ids[track] = (pid, tid)
+    return ids
+
+
+def to_chrome_trace(trace: Trace) -> dict:
+    """Convert *trace* to a Trace Event Format document (a dict)."""
+    ids = _track_ids(trace)
+    events: List[dict] = []
+    named_pids = set()
+    for track, (pid, tid) in sorted(ids.items(), key=lambda kv: kv[1]):
+        group, _, instance = track.partition("/")
+        if pid not in named_pids:
+            named_pids.add(pid)
+            events.append({"ph": "M", "pid": pid, "tid": 0,
+                           "name": "process_name",
+                           "args": {"name": group}})
+        events.append({"ph": "M", "pid": pid, "tid": tid,
+                       "name": "thread_name",
+                       "args": {"name": instance or group}})
+    for span in trace.spans:
+        pid, tid = ids[span.track]
+        events.append({
+            "name": span.name,
+            "cat": span.category,
+            "ph": "X",
+            "ts": span.start_s * _SECONDS_TO_US,
+            "dur": span.duration_s * _SECONDS_TO_US,
+            "pid": pid,
+            "tid": tid,
+            "args": dict(span.args),
+        })
+    for instant in trace.instants:
+        pid, tid = ids[instant.track]
+        events.append({
+            "name": instant.name,
+            "cat": "instant",
+            "ph": "i",
+            "s": "t",
+            "ts": instant.ts_s * _SECONDS_TO_US,
+            "pid": pid,
+            "tid": tid,
+            "args": dict(instant.args),
+        })
+    for sample in trace.counters:
+        pid, _tid = ids[sample.track]
+        events.append({
+            "name": sample.name,
+            "cat": "counter",
+            "ph": "C",
+            "ts": sample.ts_s * _SECONDS_TO_US,
+            "pid": pid,
+            "args": {sample.name: sample.value},
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(trace: Trace,
+                       path: Union[str, pathlib.Path]) -> pathlib.Path:
+    """Write *trace* as Chrome trace-event JSON to *path*.
+
+    Raises FileNotFoundError with an actionable message when the
+    destination directory does not exist, instead of letting ``open``
+    produce a raw traceback deep in a CLI run.
+    """
+    path = pathlib.Path(path)
+    parent = path.parent
+    if not parent.exists():
+        raise FileNotFoundError(
+            f"cannot write trace to {path}: directory {parent} does not "
+            f"exist (create it first, e.g. mkdir -p {parent})")
+    with open(path, "w") as handle:
+        json.dump(to_chrome_trace(trace), handle, indent=1)
+        handle.write("\n")
+    return path
+
+
+# -- ASCII timeline ----------------------------------------------------------
+
+#: Fill characters by span name prefix, roughly "cost density": queueing
+#: is idle time, prefill is compute-dense, decode is bandwidth-dense.
+_FILL = (("queue_wait", "."), ("prefill", "#"), ("decode", "="),
+         ("request", "-"), ("finalize", "~"))
+
+
+def _fill_char(name: str) -> str:
+    for prefix, char in _FILL:
+        if name.startswith(prefix):
+            return char
+    return "+"
+
+
+def ascii_timeline(trace: Trace, width: int = 72) -> str:
+    """Render *trace* as a fixed-width gantt, one row per track.
+
+    Child spans overwrite their parents (they are drawn shortest-last),
+    so a request row reads ``...###===`` — queue wait, then prefill,
+    then decode. Instant events render as ``!``. Lossy by construction:
+    a column covers ``end_s / width`` seconds and the densest span wins.
+    """
+    if width < 16:
+        raise ValueError(f"width must be >= 16, got {width}")
+    horizon = trace.end_s
+    if horizon <= 0.0:
+        return "(empty trace)"
+    tracks = trace.tracks()
+    label_w = max(len(track) for track in tracks)
+    scale = width / horizon
+
+    def column(ts: float) -> int:
+        return min(width - 1, int(ts * scale))
+
+    lines = [f"{'':{label_w}}  0s{'':{width - 12}}{horizon:8.2f}s",
+             f"{'':{label_w}}  |{'-' * (width - 2)}|"]
+    for track in tracks:
+        row = [" "] * width
+        # Longest spans first so children (shorter) overwrite parents.
+        for span in sorted(trace.spans_on(track), key=lambda s: -s.duration_s):
+            char = _fill_char(span.name)
+            for col in range(column(span.start_s), column(span.end_s) + 1):
+                row[col] = char
+        for instant in trace.instants_on(track):
+            row[column(instant.ts_s)] = "!"
+        lines.append(f"{track:{label_w}}  {''.join(row)}")
+    lines.append(f"{'':{label_w}}  legend: .=queue #=prefill =:decode "
+                 "~=finalize !=event")
+    return "\n".join(lines)

@@ -1,0 +1,81 @@
+"""Tracer protocol: a zero-overhead no-op default plus a recorder.
+
+Every simulator entry point accepts a tracer and defaults to
+:data:`NOOP_TRACER`. Hot loops guard emission with ``if tracer.enabled:``
+so the disabled path pays one attribute read per iteration and never
+constructs span arguments — the property the overhead benchmark
+(``benchmarks/test_trace_overhead.py``) pins at <2%.
+
+Pass a :class:`RecordingTracer` to capture the timeline::
+
+    tracer = RecordingTracer()
+    report = simulator.run_continuous(arrivals, tracer=tracer)
+    write_chrome_trace(tracer.trace, "out.json")
+"""
+
+from typing import Mapping, Optional
+
+from repro.trace.spans import CounterSample, InstantEvent, Span, Trace
+
+
+class Tracer:
+    """The tracing protocol; the base class itself discards everything.
+
+    Subclasses that record must set :attr:`enabled` to True — emitters
+    check it before building span arguments, so a tracer that claims to
+    be disabled will not see every event.
+    """
+
+    #: Whether emitters should bother constructing events at all.
+    enabled: bool = False
+
+    def span(self, track: str, name: str, start_s: float, end_s: float,
+             category: str = "span",
+             args: Optional[Mapping[str, object]] = None) -> None:
+        """Record a closed interval [start_s, end_s] on *track*."""
+
+    def instant(self, track: str, name: str, ts_s: float,
+                args: Optional[Mapping[str, object]] = None) -> None:
+        """Record a point-in-time marker on *track*."""
+
+    def counter(self, track: str, name: str, ts_s: float,
+                value: float) -> None:
+        """Record one sample of the numeric series *name* on *track*."""
+
+
+class NoopTracer(Tracer):
+    """Discards every event; the default for all simulator entry points."""
+
+    __slots__ = ()
+
+
+#: Shared default instance — the tracer is stateless, so one suffices.
+NOOP_TRACER = NoopTracer()
+
+
+class RecordingTracer(Tracer):
+    """Appends every event to an in-memory :class:`Trace`."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.trace = Trace()
+
+    def span(self, track: str, name: str, start_s: float, end_s: float,
+             category: str = "span",
+             args: Optional[Mapping[str, object]] = None) -> None:
+        self.trace.spans.append(Span(track=track, name=name,
+                                     start_s=start_s, end_s=end_s,
+                                     category=category,
+                                     args=dict(args) if args else {}))
+
+    def instant(self, track: str, name: str, ts_s: float,
+                args: Optional[Mapping[str, object]] = None) -> None:
+        self.trace.instants.append(InstantEvent(
+            track=track, name=name, ts_s=ts_s,
+            args=dict(args) if args else {}))
+
+    def counter(self, track: str, name: str, ts_s: float,
+                value: float) -> None:
+        self.trace.counters.append(CounterSample(
+            track=track, name=name, ts_s=ts_s, value=value))

@@ -14,7 +14,7 @@ from repro.engine.inference import DEFAULT_ENGINE_CONFIG, EngineConfig
 from repro.engine.request import InferenceRequest
 from repro.hardware.platform import Platform
 from repro.models.config import ModelConfig
-from repro.utils.stats import percentile
+from repro.utils.stats import mean, percentile
 from repro.workloads.generator import total_tokens
 
 
@@ -69,7 +69,7 @@ def serve(platform: Platform, model: ModelConfig,
         requests_served=len(results),
         total_time_s=sum(r.e2e_s for r in results),
         generated_tokens=total_tokens(requests),
-        mean_ttft_s=sum(ttfts) / len(ttfts),
-        mean_tpot_s=sum(tpots) / len(tpots) if tpots else 0.0,
+        mean_ttft_s=mean(ttfts),
+        mean_tpot_s=mean(tpots) if tpots else 0.0,
         p99_ttft_s=percentile(ttfts, 99),
     )
