@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-figures bench-json trace
+.PHONY: test bench bench-cluster bench-figures bench-json trace
 
 # Tier-1 test suite (must stay green).
 test:
@@ -14,6 +14,12 @@ test:
 # recorded in BENCH_sweep.json.
 bench:
 	$(PYTHON) tools/bench.py --json BENCH_sweep.json
+
+# Cluster benchmark: 100k-request fleet, per-iteration loop vs the
+# event-horizon fast-forward, recorded in BENCH_cluster.json. The exact
+# reference leg takes a few minutes.
+bench-cluster:
+	$(PYTHON) tools/bench.py --suite cluster --json BENCH_cluster.json
 
 bench-json: bench
 

@@ -36,7 +36,14 @@ from repro.trace import NoopTracer, RecordingTracer
 from repro.workloads.generator import chatbot_workload
 
 MAX_NOOP_OVERHEAD = 0.02     # the ISSUE's bound: <2% vs the untraced call
-MAX_RECORDING_FACTOR = 5.0   # informational ceiling for full recording
+# Informational ceiling for full recording, relative to the *untraced*
+# run. The event-horizon fast-forward cut the untraced denominator ~40x
+# (a 48-request run now simulates in ~1 ms), so recording's fixed
+# ~7 µs/span cost reads as ~8x rather than the pre-fast-forward ~2x.
+# The ceiling guards the failure mode, not the ratio's absolute value:
+# emission moving inside the per-step loop multiplies the span count by
+# the coalesced-run length (10-60 here) and blows far past 20x.
+MAX_RECORDING_FACTOR = 20.0
 
 REQUESTS = 48
 RATE = 4.0
@@ -51,19 +58,25 @@ def _scheduler_and_arrivals():
     return simulator, arrivals
 
 
-def _interleaved_mins(fn_a, fn_b, rounds=15):
-    """Min-of-rounds for both callables, alternating A/B each round.
+def _paired_min_ratio(fn_a, fn_b, rounds=15, number=40):
+    """min over rounds of time(fn_a)/time(fn_b), legs timed back-to-back.
 
     Comparing a long benchmark-fixture run against a short timeit run
-    biases the ratio (thermal/allocator drift lands on one leg only);
-    interleaving gives both legs the same noise environment, and the
-    mins of identical code paths then agree to well under a percent.
+    biases the ratio (thermal/allocator drift lands on one leg only).
+    Pairing the legs within each round means bursty host noise (CPU
+    steal, frequency excursions) hits both legs of a round together and
+    cancels in that round's ratio; taking the *min* ratio then picks the
+    quietest round. A real systematic overhead inflates every round's
+    ratio and survives the min — noise does not. Each round times
+    *number* back-to-back runs: the fast-forward cut a single untraced
+    run to ~1 ms, where scheduler jitter alone is a few percent.
     """
-    best_a = best_b = float("inf")
+    best = float("inf")
     for _ in range(rounds):
-        best_a = min(best_a, timeit.timeit(fn_a, number=1))
-        best_b = min(best_b, timeit.timeit(fn_b, number=1))
-    return best_a, best_b
+        t_a = timeit.timeit(fn_a, number=number)
+        t_b = timeit.timeit(fn_b, number=number)
+        best = min(best, t_a / t_b)
+    return best
 
 
 def test_noop_tracer_overhead(benchmark):
@@ -73,10 +86,9 @@ def test_noop_tracer_overhead(benchmark):
     noop = NoopTracer()
     benchmark(lambda: simulator.run_continuous(arrivals, tracer=noop))
 
-    noop_s, default_s = _interleaved_mins(
+    overhead = _paired_min_ratio(
         lambda: simulator.run_continuous(arrivals, tracer=noop),
-        lambda: simulator.run_continuous(arrivals))
-    overhead = noop_s / default_s - 1.0
+        lambda: simulator.run_continuous(arrivals)) - 1.0
     assert overhead <= MAX_NOOP_OVERHEAD, (
         f"NoopTracer costs {overhead:+.1%} over the untraced scheduler "
         f"(bound {MAX_NOOP_OVERHEAD:.0%}): a tracer guard is broken or "
@@ -96,12 +108,11 @@ def test_recording_tracer_stays_sane(benchmark):
     benchmark(lambda: simulator.run_continuous(arrivals,
                                                tracer=RecordingTracer()))
 
-    recording_s, default_s = _interleaved_mins(
+    factor = _paired_min_ratio(
         lambda: simulator.run_continuous(arrivals,
                                          tracer=RecordingTracer()),
         lambda: simulator.run_continuous(arrivals),
-        rounds=7)
-    factor = recording_s / default_s
+        rounds=7, number=3)
     assert factor <= MAX_RECORDING_FACTOR, (
         f"recording costs {factor:.1f}x the untraced run (ceiling "
         f"{MAX_RECORDING_FACTOR}x): span emission has crept into an "

@@ -8,6 +8,7 @@ Usage::
     python -m repro experiment --all
     python -m repro cluster --platforms spr,spr,h100 --model llama2-7b
     python -m repro cluster --platforms spr,spr --model llama2-7b --trace out.json
+    python -m repro cluster --platforms spr,spr --model llama2-7b --rate 4 --duration 3600
     python -m repro trace --out trace.json
     python -m repro roofline --platform spr --model llama2-13b
     python -m repro platforms
@@ -137,6 +138,43 @@ def _build_arrivals(args: argparse.Namespace) -> list:
     return poisson_arrivals(args.rate, args.requests, seed=args.seed)
 
 
+def _arrival_factory(args: argparse.Namespace):
+    """A zero-arg factory producing a fresh, identical arrival stream.
+
+    The cluster command consumes arrivals lazily and regenerates the
+    stream for SLO scoring rather than holding it, so ``--duration``
+    runs of any length stay O(1) in workload memory.
+    """
+    from repro.serving.arrivals import (
+        iter_bursty_arrivals,
+        iter_poisson_arrivals,
+    )
+
+    count = args.requests
+    if count is None and args.duration is None:
+        count = 32
+    if args.burst_rate:
+        return lambda: iter_bursty_arrivals(
+            args.rate, args.burst_rate, count=count,
+            duration_s=args.duration, seed=args.seed)
+    return lambda: iter_poisson_arrivals(
+        args.rate, count=count, duration_s=args.duration, seed=args.seed)
+
+
+def _progress_line(start_wall: float):
+    """A ClusterSimulator progress callback writing one stderr line."""
+    import time
+
+    def progress(events: int, sim_s: float, completed: int) -> None:
+        wall = max(time.perf_counter() - start_wall, 1e-9)
+        print(f"\r{events:,} events  {events / wall:,.0f} ev/s  "
+              f"sim {sim_s:,.1f}s ({sim_s / wall:,.0f}x real time)  "
+              f"{completed:,} completed", end="", file=sys.stderr,
+              flush=True)
+
+    return progress
+
+
 def _trace_destination(path: str) -> Optional[pathlib.Path]:
     """Resolve a trace output path, or None (with a message) if unusable."""
     destination = pathlib.Path(path)
@@ -164,20 +202,30 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     model = get_model(args.model)
     nodes = _build_fleet(args, model)
     slo = SLO(ttft_s=args.ttft, tpot_s=args.tpot)
-    arrivals = _build_arrivals(args)
+    make_arrivals = _arrival_factory(args)
+    progress = None
+    if args.progress or sys.stderr.isatty():
+        import time
+
+        progress = _progress_line(time.perf_counter())
     report = ClusterSimulator(nodes, _build_router(args, slo),
-                              tracer=tracer).run(arrivals)
+                              tracer=tracer,
+                              exact=args.exact).run(make_arrivals(),
+                                                    progress=progress)
+    if progress is not None:
+        print(file=sys.stderr)
     rows = [[s.name, s.platform, s.completed, s.utilization,
              s.peak_queue] for s in report.node_stats]
     print(format_table(
         ["replica", "platform", "completed", "utilization", "peak queue"],
         rows,
         title=f"{model.name} x {len(nodes)} replicas, "
-              f"router={args.router}, {len(arrivals)} requests"))
+              f"router={args.router}, {len(report.completed)} requests"))
+    # Scoring regenerates the deterministic stream instead of holding it.
     print(f"\nthroughput: {report.throughput:.1f} tok/s   "
           f"mean TTFT: {report.mean_ttft_s * 1000:.0f} ms   "
-          f"attainment: {report.attainment(list(arrivals), slo):.0%}   "
-          f"goodput: {report.goodput(list(arrivals), slo):.1f} tok/s   "
+          f"attainment: {report.attainment(make_arrivals(), slo):.0%}   "
+          f"goodput: {report.goodput(make_arrivals(), slo):.1f} tok/s   "
           f"$/Mtok: {report.dollars_per_million_tokens():.2f}")
     if destination is not None:
         write_chrome_trace(tracer.trace, destination)
@@ -358,7 +406,22 @@ def build_parser() -> argparse.ArgumentParser:
     cluster_parser.add_argument("--burst-rate", type=float, default=None,
                                 help="burst arrival rate (enables a "
                                      "bursty on/off trace)")
-    cluster_parser.add_argument("--requests", type=int, default=32)
+    cluster_parser.add_argument("--requests", type=int, default=None,
+                                help="number of requests (default 32; "
+                                     "unbounded when --duration is set)")
+    cluster_parser.add_argument("--duration", type=float, default=None,
+                                metavar="S",
+                                help="stream arrivals for S simulated "
+                                     "seconds instead of a fixed count "
+                                     "(combine with --requests to cap "
+                                     "both)")
+    cluster_parser.add_argument("--exact", action="store_true",
+                                help="price every scheduler iteration "
+                                     "individually (reference loop; slow "
+                                     "on large runs)")
+    cluster_parser.add_argument("--progress", action="store_true",
+                                help="force the progress line even when "
+                                     "stderr is not a terminal")
     cluster_parser.add_argument("--batch", type=int, default=8,
                                 help="per-replica max batch")
     cluster_parser.add_argument("--ttft", type=float, default=2.0,

@@ -70,6 +70,12 @@ class ClusterReport:
         cluster_events: Structured log of failures, drains, and scalings
             (:class:`~repro.cluster.events.ClusterEvent`); the legacy
             string view is the :attr:`events` property.
+
+    ``completed`` is never empty: both runners raise ``ValueError`` on
+    an empty arrival stream and the event loop refuses to lose requests,
+    so the latency statistics below are always defined (and
+    :mod:`repro.utils.stats` raises a descriptive error rather than
+    guessing if a hand-built report breaks that invariant).
     """
 
     router: str

@@ -7,23 +7,33 @@ arrival trace in one call, the node exposes
 
 * :meth:`submit` — route one request to the node's local queue,
 * :meth:`next_event_time` — when the node's next scheduler iteration
-  would start (``None`` while idle), and
+  would start (``None`` while idle),
 * :meth:`advance` — execute exactly one scheduler iteration
-  (admissions, retirements, one fused decode step).
+  (admissions, retirements, one fused decode step), and
+* :meth:`advance_to` — run every iteration starting strictly before a
+  horizon, *fast-forwarding* stretches where the batch cannot change.
 
 which is what a multi-replica event loop needs to interleave
 heterogeneous nodes (:class:`repro.cluster.simulator.ClusterSimulator`).
-``run_continuous`` itself now drives a single node to completion, so the
-single-node policy and the cluster share one scheduling implementation —
-with one replica and no concurrent admissions the two produce identical
+``run_continuous`` itself drives a single node with the same
+``advance_to``-at-each-arrival sequence the cluster loop uses, so the
+single-node policy and a one-replica cluster produce bit-identical
 per-request timings by construction.
 
 One iteration is atomic: its admission prefills and decode step are
 priced as a block and the node clock jumps to the block's end. A request
 routed *into* the middle of an in-flight iteration is considered at the
-next iteration boundary (the whole-trace runner can instead admit it
-mid-round during admission prefills; at low arrival rates the two are
-identical, which the parity tests pin).
+next iteration boundary.
+
+**Event-horizon fast-forward.** Between two external events (the next
+arrival's readiness and the caller's horizon), a batch that admits
+nothing and retires nothing is a pure decode run whose mean KV length
+advances by exactly +1 per iteration — so the whole run prices in closed
+form off the shared prefix-sum step-cost curves
+(:class:`repro.engine.stepcost.DecodeCostTable`), emitting one coalesced
+trace span per track instead of one per iteration. ``exact=True``
+restores per-iteration stepping with unmemoized pricing; the two agree
+on every report field to ≤1e-9 relative (pinned by the parity suite).
 """
 
 import bisect
@@ -67,13 +77,20 @@ class ReplicaNode:
         tracer: Span sink for this node's request/replica timeline; the
             default no-op discards everything (the cluster simulator
             re-points this at its own tracer when it adopts a node).
+        exact: Price every iteration individually with unmemoized cost
+            primitives (the reference step loop). The default uses the
+            shared step-cost table and coalesces pure-decode runs.
+        collect_gaps: Record per-iteration inter-token gaps (coalesced
+            runs are expanded back into individual gaps). Off by default
+            — a million-request fleet run should not grow an unused list.
     """
 
     def __init__(self, name: str, platform: Optional[Platform] = None,
                  model: Optional[ModelConfig] = None, max_batch: int = 8,
                  config: EngineConfig = DEFAULT_ENGINE_CONFIG,
                  simulator: Optional[BatchingSimulator] = None,
-                 tracer: Tracer = NOOP_TRACER):
+                 tracer: Tracer = NOOP_TRACER, exact: bool = False,
+                 collect_gaps: bool = False):
         if simulator is None:
             if platform is None or model is None:
                 raise ValueError("ReplicaNode needs platform+model or a "
@@ -81,8 +98,11 @@ class ReplicaNode:
             simulator = BatchingSimulator(platform, model, max_batch, config)
         self.name = name
         self.tracer = tracer
+        self.exact = exact
+        self.collect_gaps = collect_gaps
         self._track = replica_track(name)
         self._sim = simulator
+        self._cost = simulator.cost_table
         self.clock = 0.0
         self.pending: List[_QueuedRequest] = []
         self.running: List[_Running] = []
@@ -135,8 +155,13 @@ class ReplicaNode:
         return queued + running
 
     def prefill_cost_s(self, input_len: int) -> float:
-        """This replica's single-sequence prefill time for a prompt."""
-        return self._sim._prefill_time(1, input_len)
+        """This replica's single-sequence prefill time for a prompt.
+
+        Always priced off the shared step-cost table (bit-identical to
+        the direct primitive, memoized) so routing decisions stay the
+        same in exact and fast modes.
+        """
+        return self._cost.prefill_time(1, input_len)
 
     def decode_cost_s(self, input_len: int, output_len: int) -> float:
         """Single-sequence decode-phase estimate (mid-KV iteration cost)."""
@@ -144,7 +169,7 @@ class ReplicaNode:
         if steps == 0:
             return 0.0
         mid_kv = input_len + output_len // 2
-        return steps * self._sim._decode_iteration_time(1, mid_kv)
+        return steps * self._cost.step_time(1, mid_kv)
 
     def backlog_s(self, now: float) -> float:
         """Projected work ahead of a request routed at *now*.
@@ -163,9 +188,31 @@ class ReplicaNode:
                             for seq in self.running)
             mean_kv = int(sum(seq.kv_len for seq in self.running)
                           / len(self.running))
-            backlog += remaining * self._sim._decode_iteration_time(
+            backlog += remaining * self._cost.step_time(
                 len(self.running), max(1, mean_kv))
         return backlog
+
+    # -- cost primitives (exact vs memoized) ----------------------------------
+
+    def _prefill_cost(self, input_len: int) -> float:
+        if self.exact:
+            return self._sim._prefill_time(1, input_len)
+        return self._cost.prefill_time(1, input_len)
+
+    def _prefill_legs(self, input_len: int):
+        if self.exact:
+            return self._sim._prefill_split(1, input_len)
+        return self._cost.prefill_split(1, input_len)
+
+    def _iteration_cost(self, batch: int, mean_kv: int) -> float:
+        if self.exact:
+            return self._sim._decode_iteration_time(batch, mean_kv)
+        return self._cost.step_time(batch, mean_kv)
+
+    def _iteration_legs(self, batch: int, mean_kv: int):
+        if self.exact:
+            return self._sim._decode_split(batch, mean_kv)
+        return self._cost.step_split(batch, mean_kv)
 
     # -- event-loop interface -------------------------------------------------
 
@@ -210,7 +257,7 @@ class ReplicaNode:
             queued = self.pending.pop(0)
             request = queued.request
             start_s = self.clock
-            prefill = self._sim._prefill_time(1, request.input_len)
+            prefill = self._prefill_cost(request.input_len)
             self.clock += prefill
             self.busy_s += prefill
             if self.running:
@@ -226,8 +273,7 @@ class ReplicaNode:
                 track = request_track(request.request_id)
                 tracer.span(track, "queue_wait", queued.ready_s, start_s,
                             category="request", args={"replica": self.name})
-                compute_s, memory_s = self._sim._prefill_split(
-                    1, request.input_len)
+                compute_s, memory_s = self._prefill_legs(request.input_len)
                 tracer.span(track, "prefill", start_s, self.clock,
                             category="request",
                             args={"replica": self.name,
@@ -265,14 +311,14 @@ class ReplicaNode:
         if self.running:
             mean_kv = int(sum(seq.kv_len for seq in self.running)
                           / len(self.running))
-            iteration = self._sim._decode_iteration_time(len(self.running),
-                                                         mean_kv)
+            iteration = self._iteration_cost(len(self.running), mean_kv)
             decode_start = self.clock
             self.clock += iteration
             self.busy_s += iteration
-            self.decode_gaps.append(stall + iteration)
+            if self.collect_gaps:
+                self.decode_gaps.append(stall + iteration)
             if tracer.enabled:
-                compute_s, memory_s = self._sim._decode_split(
+                compute_s, memory_s = self._iteration_legs(
                     len(self.running), mean_kv)
                 tracer.span(self._track, "decode", decode_start, self.clock,
                             category="replica",
@@ -298,6 +344,131 @@ class ReplicaNode:
                 seq.last_event_s = self.clock
         self.iterations += 1
         return completed_now
+
+    def advance_to(self, horizon: Optional[float] = None
+                   ) -> List[CompletedRequest]:
+        """Run every iteration starting strictly before *horizon*.
+
+        ``None`` runs the node to completion. Iterations starting at or
+        after the horizon are left for the caller's next call — the same
+        strict ordering the cluster loop's admin-before-iteration
+        tie-break gives per-iteration stepping.
+
+        In the default (fast) mode, stretches where the batch provably
+        cannot change — nothing admissible before the horizon, nobody
+        finishing — are priced in one closed-form range lookup
+        (:meth:`_fast_forward`) instead of stepped; with ``exact=True``
+        every iteration is stepped and priced individually.
+        """
+        completed: List[CompletedRequest] = []
+        while True:
+            start = self.next_event_time()
+            if start is None or (horizon is not None and start >= horizon):
+                return completed
+            if not self.exact:
+                steps, mean_kv = self._coalescible_steps(start, horizon)
+                if steps >= 2:
+                    self._fast_forward(steps, mean_kv)
+                    continue
+            completed.extend(self.advance())
+
+    def _coalescible_steps(self, start: float,
+                           horizon: Optional[float]) -> Tuple[int, int]:
+        """(pure-decode iterations runnable from *start*, batch mean KV).
+
+        The count is zero unless the running set is non-empty, nobody
+        retires within the window (bounded by the closest sequence to
+        finishing), and no admission can happen at or before the
+        window's iterations begin. The count against the time bound —
+        the earlier of *horizon* and the head-of-queue readiness — is
+        one binary search over the prefix-sum cost curve, using the
+        invariant that a pure-decode run's mean KV length advances by
+        exactly +1 per iteration (integer floor of a sum that grows by
+        the batch size each step).
+        """
+        running = self.running
+        if not running:
+            return 0, 0
+        limit = None
+        total_kv = 0
+        for seq in running:
+            request = seq.request
+            remaining = request.output_len - seq.generated
+            if limit is None or remaining < limit:
+                limit = remaining
+            total_kv += request.input_len + seq.generated
+        if limit < 2:
+            return 0, 0
+        batch = len(running)
+        mean_kv = total_kv // batch
+        if mean_kv < 1:
+            mean_kv = 1
+        bound = horizon
+        if self.pending and batch < self.max_batch:
+            ready = self.pending[0].ready_s
+            if ready <= start:
+                return 0, 0  # admissible right now: step normally
+            if bound is None or ready < bound:
+                bound = ready
+        if bound is None:
+            return limit, mean_kv
+        return self._cost.steps_within(batch, mean_kv,
+                                       bound - start, limit), mean_kv
+
+    def _fast_forward(self, steps: int, mean_kv: int) -> None:
+        """Execute *steps* pure-decode iterations as one coalesced block.
+
+        Per-step costs come from the prefix curve in one slice, but the
+        clock (and busy time) advance by adding them *one at a time*, in
+        the same order the per-iteration loop would: a request's TTFT is
+        a tiny difference of huge timestamps, so even the one-ulp-per-run
+        drift of adding a range sum instead of the step sequence would
+        amplify past 1e-9 over a 100k-request trace. The float additions
+        are two per step (into locals, stored once — same value sequence,
+        same rounding) — the per-step work the fast path actually avoids
+        is the *pricing*, which is three orders of magnitude dearer. The
+        trace receives one replica ``decode`` span carrying ``steps`` and
+        one request ``decode[a..b]`` span per sequence, so attribution
+        still tiles each request's ``e2e_s``.
+        """
+        running = self.running
+        batch = len(running)
+        step_times = self._cost.step_times(batch, mean_kv, mean_kv + steps)
+        run_start = self.clock
+        clock = run_start
+        busy = self.busy_s
+        for step_s in step_times:
+            clock += step_s
+            busy += step_s
+        self.clock = clock
+        self.busy_s = busy
+        self.iterations += steps
+        if self.collect_gaps:
+            self.decode_gaps.extend(step_times)
+        tracer = self.tracer
+        if tracer.enabled:
+            _, compute_s, memory_s = self._cost.range_cost(
+                batch, mean_kv, mean_kv + steps)
+            tracer.span(self._track, "decode", run_start, self.clock,
+                        category="replica",
+                        args={"batch_size": batch, "mean_kv": mean_kv,
+                              "steps": steps, "coalesced": True,
+                              "compute_s": compute_s,
+                              "memory_s": memory_s})
+            tracer.counter(self._track, "batch_size", run_start, batch)
+        for seq in running:
+            first = seq.generated
+            seq.generated += steps
+            if tracer.enabled:
+                tracer.span(request_track(seq.request.request_id),
+                            f"decode[{first}..{seq.generated - 1}]",
+                            seq.last_event_s, self.clock,
+                            category="request",
+                            args={"replica": self.name,
+                                  "kv_len": seq.kv_len,
+                                  "batch_size": batch,
+                                  "steps": steps})
+            seq.last_event_s = self.clock
 
     # -- fleet lifecycle ------------------------------------------------------
 

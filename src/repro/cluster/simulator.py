@@ -1,29 +1,44 @@
 """Discrete-event, multi-replica serving simulation.
 
-The event loop interleaves four event classes in global-time order:
+The event loop pops *external* events off a binary heap in global-time
+order — scheduled node failures and drains, autoscaler samples,
+provisioned replicas coming online, and request arrivals — and, before
+dispatching each one at time ``t``, brings every active replica forward
+with :meth:`~repro.cluster.node.ReplicaNode.advance_to`\\ ``(t)`` (all
+scheduler iterations starting strictly before ``t``). Replica iterations
+therefore never enter the heap at all: a replica's whole pure-decode
+stretch between two external events is priced in one closed-form range
+lookup (the event-horizon fast-forward), which is what makes
+million-request traces tractable.
 
-1. **administrative events** — scheduled node failures and drains,
-   autoscaler samples, and provisioned replicas coming online;
-2. **request arrivals** — routed to a replica the moment they arrive;
-3. **replica iterations** — each :class:`~repro.cluster.node.ReplicaNode`
-   exposes when its next scheduler iteration starts, and the loop always
-   advances the earliest one.
+Ties resolve administrative-before-arrival (scheduled, online, sample,
+then arrival; insertion order within a class), and an iteration starting
+exactly at ``t`` runs *after* the events at ``t`` — so a failure at ``t``
+kills work before the fleet computes at ``t``, and an arrival at ``t``
+is admissible by an iteration starting at ``t``, matching the
+single-node scheduler's admission rule. That shared rule is what makes a
+one-replica cluster reproduce ``run_continuous`` bit-exactly.
 
-Ties resolve in that order (administrative before arrival before
-iteration) so a failure at time *t* kills work before the fleet computes
-at *t*, and an arrival at *t* is admissible by an iteration starting at
-*t* — matching the single-node scheduler's admission rule, which is what
-makes a one-replica cluster reproduce ``run_continuous`` exactly.
+Arrivals may be a list *or* a lazy iterator (see
+:mod:`repro.workloads.streams`): the loop holds at most one unrouted
+arrival at a time, so a million-request trace never materializes as a
+list. Iterator streams must already be time-ordered; sequences are
+sorted.
 
 Failures requeue: a failed replica's queued and in-flight requests are
 rerouted immediately with their original arrival stamps (TTFT keeps
 charging the lost time) and their already-generated tokens are accounted
 as wasted work. No request is ever dropped; if the *last* routable
 replica fails the simulation raises instead of losing traffic.
+
+``exact=True`` runs the same event loop but steps every replica
+iteration individually with unmemoized pricing — the reference the
+parity suite and the cluster benchmark compare the fast path against.
 """
 
 import dataclasses
-from typing import List, Optional, Sequence, Tuple
+import heapq
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence
 
 from repro.cluster.autoscaler import Autoscaler
 from repro.cluster.events import (
@@ -41,10 +56,17 @@ from repro.serving.arrivals import ArrivingRequest
 from repro.trace.spans import CLUSTER_TRACK, request_track
 from repro.trace.tracer import NOOP_TRACER, Tracer
 
-# Same-timestamp dispatch order (see module docstring).
-_RANK_ADMIN = 0
-_RANK_ARRIVAL = 1
-_RANK_NODE = 2
+# Same-timestamp dispatch order (see module docstring): administrative
+# events before arrivals; replica iterations at the same stamp run when
+# the *next* event's advance_to sweeps past them.
+_RANK_SCHEDULED = 0
+_RANK_ONLINE = 1
+_RANK_SAMPLE = 2
+_RANK_ARRIVAL = 3
+
+#: Progress callback signature: (events dispatched, simulated time,
+#: requests completed so far).
+ProgressFn = Callable[[int, float, int], None]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -76,12 +98,17 @@ class ClusterSimulator:
         tracer: Timeline sink; replaces every adopted node's tracer so
             the whole fleet records into one trace. The default no-op
             discards everything.
+        exact: Step and price every replica iteration individually (the
+            reference loop). The default fast-forwards pure-decode
+            stretches; both modes agree on every report field to ≤1e-9
+            relative.
     """
 
     def __init__(self, nodes: Sequence[ReplicaNode], router: Router,
                  autoscaler: Optional[Autoscaler] = None,
                  events: Sequence[object] = (),
-                 tracer: Tracer = NOOP_TRACER):
+                 tracer: Tracer = NOOP_TRACER,
+                 exact: bool = False):
         if not nodes:
             raise ValueError("a cluster needs at least one replica")
         names = [node.name for node in nodes]
@@ -92,8 +119,10 @@ class ClusterSimulator:
         self.autoscaler = autoscaler
         self.scheduled = sorted(events, key=lambda e: e.time_s)
         self.tracer = tracer
+        self.exact = exact
         for node in self.nodes:
             node.tracer = tracer
+            node.exact = exact
 
     # -- helpers --------------------------------------------------------------
 
@@ -110,24 +139,58 @@ class ClusterSimulator:
     def _any_work(self) -> bool:
         return any(node.has_work for node in self.nodes if node.active)
 
+    def _completed_count(self) -> int:
+        return sum(len(node.completed) for node in self.nodes)
+
+    @staticmethod
+    def _arrival_stream(arrivals) -> Iterator[ArrivingRequest]:
+        """Arrivals as a time-ordered iterator (sorting sequences)."""
+        if isinstance(arrivals, Sequence):
+            return iter(sorted(arrivals, key=lambda r: r.arrival_s))
+        return iter(arrivals)
+
     # -- event loop -----------------------------------------------------------
 
-    def run(self, arrivals: Sequence[ArrivingRequest]) -> ClusterReport:
-        """Simulate the fleet over *arrivals* and aggregate the outcome."""
-        if not arrivals:
+    def run(self, arrivals: Iterable[ArrivingRequest],
+            progress: Optional[ProgressFn] = None,
+            progress_every: int = 4096) -> ClusterReport:
+        """Simulate the fleet over *arrivals* and aggregate the outcome.
+
+        *arrivals* may be any iterable; an iterator is consumed lazily
+        (one unrouted arrival buffered) and must be time-ordered. An
+        optional *progress* callback fires every *progress_every*
+        dispatched events with ``(events, simulated_time_s, completed)``.
+        """
+        stream = self._arrival_stream(arrivals)
+        first = next(stream, None)
+        if first is None:
             raise ValueError("no arrivals to serve")
-        queue = sorted(arrivals, key=lambda r: r.arrival_s)
-        index = 0
-        scheduled_index = 0
-        provisioning: List[Tuple[float, ReplicaNode]] = []
-        next_sample = (self.autoscaler.sample_interval_s
-                       if self.autoscaler else None)
-        timeline: List[Tuple[float, int]] = []
+
+        heap: list = []
+        serial = 0
+
+        def push(time_s: float, rank: int, payload: object) -> None:
+            nonlocal serial
+            heapq.heappush(heap, (time_s, rank, serial, payload))
+            serial += 1
+
+        for event in self.scheduled:
+            push(event.time_s, _RANK_SCHEDULED, event)
+        push(first.arrival_s, _RANK_ARRIVAL, first)
+        arrival_pending = True
+        last_arrival_s = first.arrival_s
+        arrived = 1
+        provisioning = 0
+        if self.autoscaler is not None:
+            push(self.autoscaler.sample_interval_s, _RANK_SAMPLE, None)
+
+        timeline: List[tuple] = []
         log: List[ClusterEvent] = []
         tracer = self.tracer
         wasted_tokens = 0
         requeued = 0
         failed_names = set()
+        events_dispatched = 0
 
         def record(event: ClusterEvent) -> None:
             log.append(event)
@@ -140,34 +203,17 @@ class ClusterSimulator:
             node = self.router.select(request, self.nodes, now)
             node.submit(request, ready_s=ready_s)
 
-        while True:
-            candidates: List[Tuple[float, int, int, str]] = []
-            if scheduled_index < len(self.scheduled):
-                candidates.append((self.scheduled[scheduled_index].time_s,
-                                   _RANK_ADMIN, 0, "scheduled"))
-            if provisioning:
-                ready = min(entry[0] for entry in provisioning)
-                candidates.append((ready, _RANK_ADMIN, 1, "online"))
-            if next_sample is not None and (index < len(queue)
-                                            or self._any_work()
-                                            or provisioning):
-                candidates.append((next_sample, _RANK_ADMIN, 2, "sample"))
-            if index < len(queue):
-                candidates.append((queue[index].arrival_s, _RANK_ARRIVAL,
-                                   0, "arrival"))
-            for node_index, node in enumerate(self.nodes):
-                if not node.active:
-                    continue
-                when = node.next_event_time()
-                if when is not None:
-                    candidates.append((when, _RANK_NODE, node_index, "node"))
-            if not candidates:
-                break
-            now, _rank, which, kind = min(candidates)
+        def advance_fleet(now: float) -> None:
+            for node in self.nodes:
+                if node.active:
+                    node.advance_to(now)
 
-            if kind == "scheduled":
-                event = self.scheduled[scheduled_index]
-                scheduled_index += 1
+        while heap:
+            now, rank, _serial, payload = heapq.heappop(heap)
+            advance_fleet(now)
+
+            if rank == _RANK_SCHEDULED:
+                event = payload
                 target = self._node(event.node)
                 if isinstance(event, NodeFailure):
                     if target.active:
@@ -189,47 +235,75 @@ class ClusterSimulator:
                 else:
                     target.drain()
                     record(ClusterEvent(DRAIN, now, target.name))
-            elif kind == "online":
-                provisioning.sort(key=lambda entry: entry[0])
-                _ready, node = provisioning.pop(0)
+            elif rank == _RANK_ONLINE:
+                node = payload
                 node.tracer = tracer
+                node.exact = self.exact
+                provisioning -= 1
                 self.nodes.append(node)
                 record(ClusterEvent(ONLINE, now, node.name,
                                     {"platform": node.platform.name}))
-            elif kind == "sample":
-                decision = self.autoscaler.decide(self.nodes,
-                                                  len(provisioning))
+            elif rank == _RANK_SAMPLE:
+                # Sampling stops for good once the fleet is certainly
+                # done: no unrouted arrival, no queued/in-flight work as
+                # of this instant, nothing provisioning.
+                if not (arrival_pending or provisioning
+                        or self._any_work()):
+                    continue
+                decision = self.autoscaler.decide(self.nodes, provisioning)
                 if decision == "up":
                     node = self.autoscaler.template.build(
                         self.autoscaler.next_name())
                     online_at = now + self.autoscaler.provisioning_lag_s
-                    provisioning.append((online_at, node))
+                    provisioning += 1
+                    push(online_at, _RANK_ONLINE, node)
                     record(ClusterEvent(SCALE_UP, now, node.name,
                                         {"online_at_s": online_at}))
                 elif decision == "down":
                     target = self.autoscaler.pick_drain_target(self.nodes)
                     target.drain()
                     record(ClusterEvent(SCALE_DOWN, now, target.name))
-                next_sample = now + self.autoscaler.sample_interval_s
-            elif kind == "arrival":
-                route(queue[index], now)
-                index += 1
-            else:  # node iteration
-                self.nodes[which].advance(now)
+                push(now + self.autoscaler.sample_interval_s,
+                     _RANK_SAMPLE, None)
+            else:  # arrival
+                route(payload, now)
+                nxt = next(stream, None)
+                if nxt is None:
+                    arrival_pending = False
+                else:
+                    if nxt.arrival_s < last_arrival_s:
+                        raise ValueError(
+                            "streaming arrivals must be time-ordered: "
+                            f"{nxt.arrival_s} after {last_arrival_s}")
+                    last_arrival_s = nxt.arrival_s
+                    arrived += 1
+                    push(nxt.arrival_s, _RANK_ARRIVAL, nxt)
+
+            events_dispatched += 1
             depth = self._fleet_queue_len()
             timeline.append((now, depth))
             if tracer.enabled:
                 tracer.counter(CLUSTER_TRACK, "fleet_queue_depth", now,
                                depth)
+            if progress is not None and \
+                    events_dispatched % progress_every == 0:
+                progress(events_dispatched, now, self._completed_count())
+
+        # No external events remain: run every replica dry.
+        for node in self.nodes:
+            if node.active:
+                node.advance_to(None)
 
         completed = sorted(
             (record for node in self.nodes for record in node.completed),
             key=lambda r: r.finish_s)
-        if len(completed) != len(queue):
+        if len(completed) != arrived:
             raise RuntimeError(
-                f"cluster lost requests: {len(queue)} arrived, "
+                f"cluster lost requests: {arrived} arrived, "
                 f"{len(completed)} completed")
         makespan = max(record.finish_s for record in completed)
+        if progress is not None:
+            progress(events_dispatched, makespan, len(completed))
         node_stats = [
             NodeStats(
                 name=node.name,

@@ -83,6 +83,19 @@ class OperatorExecutor:
                                   * compute_scale
                                   * _ELEMENTWISE_COMPUTE_EFFICIENCY)
 
+    @property
+    def pricing_signature(self):
+        """Hashable key identifying what this executor prices like.
+
+        Two executors with equal signatures produce identical timings for
+        identical ops: platform names map to fixed engine definitions, and
+        pricing otherwise depends only on dtype, bandwidth, and the
+        compute scale. Cross-instance memo layers (the serving step-cost
+        tables) key on this instead of executor identity.
+        """
+        return (self.platform.name, self.dtype, self.bandwidth,
+                self.compute_scale)
+
     def _pick_vector_like(self) -> ComputeEngine:
         """Engine used for elementwise arithmetic (lowest-peak available)."""
         vectors = [e for e in self._engines if e.kind is EngineKind.VECTOR]
@@ -246,12 +259,16 @@ class OperatorExecutor:
             activation_bytes=act_b, kv_read_bytes=kvr_b, kv_write_bytes=kvw_b,
             op_times=op_times)
 
-    def _sum_varying_op(self, model: ModelConfig, batch_size: int,
-                        index: int, op_lo: Op, op_hi: Op,
-                        kv_start: int, kv_end: int,
-                        kv_mid: int = -1, op_mid: Optional[Op] = None):
-        """Sum best-engine (time, compute, memory) of one kv-varying op."""
-        acc = [0.0, 0.0, 0.0]
+    def _varying_op_pricer(self, model: ModelConfig, batch_size: int,
+                           index: int, op_lo: Op, op_hi: Op,
+                           kv_start: int, kv_end: int,
+                           kv_mid: int, op_mid: Optional[Op]):
+        """Shared analysis preamble for one kv-varying op.
+
+        Returns ``(analyzable, varying, slope, offset, timing_at, op_at,
+        memo)`` — the pieces both the range-sum and per-step-series walks
+        build on, factored out so the two cannot drift apart.
+        """
         span = kv_end - 1 - kv_start
         dims_lo = (op_lo.m, op_lo.n, op_lo.k)
         dims_hi = (op_hi.m, op_hi.n, op_hi.k)
@@ -292,6 +309,45 @@ class OperatorExecutor:
                 memo[kv] = cached
             return cached
 
+        return analyzable, varying, slope, offset, timing_at, op_at, memo
+
+    def _tile_cut_bounds(self, varying, slope: int, offset: int,
+                         kv_start: int, kv_end: int) -> List[int]:
+        """Sorted segment bounds at tile-quantization boundaries.
+
+        Compute time steps up whenever the varying dimension enters a new
+        native tile; cutting there leaves segments where every engine's
+        legs are affine in ``kv_len``.
+        """
+        cuts = {kv_start, kv_end}
+        if varying and slope > 0:
+            for engine in self._engines:
+                if engine.tile is None:
+                    continue
+                tile_dim = (engine.tile.m, engine.tile.n,
+                            engine.tile.k)[varying[0]]
+                # First block boundary strictly past the start dimension.
+                block = (offset - 1) // tile_dim + 1
+                while True:
+                    # kv at which dim first exceeds block*tile_dim.
+                    dim_target = block * tile_dim + 1
+                    kv_b = kv_start + -(-(dim_target - offset) // slope)
+                    if kv_b >= kv_end:
+                        break
+                    if kv_b > kv_start:
+                        cuts.add(kv_b)
+                    block += 1
+        return sorted(cuts)
+
+    def _sum_varying_op(self, model: ModelConfig, batch_size: int,
+                        index: int, op_lo: Op, op_hi: Op,
+                        kv_start: int, kv_end: int,
+                        kv_mid: int = -1, op_mid: Optional[Op] = None):
+        """Sum best-engine (time, compute, memory) of one kv-varying op."""
+        acc = [0.0, 0.0, 0.0]
+        analyzable, varying, slope, offset, timing_at, op_at, memo = \
+            self._varying_op_pricer(model, batch_size, index, op_lo, op_hi,
+                                    kv_start, kv_end, kv_mid, op_mid)
         if not analyzable:
             self._sum_exact(timing_at, kv_start, kv_end, acc)
             return tuple(acc)
@@ -316,27 +372,8 @@ class OperatorExecutor:
             self._sum_affine_run(timing_at, kv_start, kv_end, acc)
             return tuple(acc)
 
-        cuts = {kv_start, kv_end}
-        if varying and slope > 0:
-            # Tile-quantization boundaries: compute time steps up whenever
-            # the varying dimension enters a new native tile.
-            for engine in self._engines:
-                if engine.tile is None:
-                    continue
-                tile_dim = (engine.tile.m, engine.tile.n,
-                            engine.tile.k)[varying[0]]
-                # First block boundary strictly past the start dimension.
-                block = (offset - 1) // tile_dim + 1
-                while True:
-                    # kv at which dim first exceeds block*tile_dim.
-                    dim_target = block * tile_dim + 1
-                    kv_b = kv_start + -(-(dim_target - offset) // slope)
-                    if kv_b >= kv_end:
-                        break
-                    if kv_b > kv_start:
-                        cuts.add(kv_b)
-                    block += 1
-        bounds = sorted(cuts)
+        bounds = self._tile_cut_bounds(varying, slope, offset,
+                                       kv_start, kv_end)
         for lo, hi in zip(bounds, bounds[1:]):
             self._sum_tile_segment(timing_at, op_at, memo, lo, hi, acc)
         return tuple(acc)
@@ -467,6 +504,177 @@ class OperatorExecutor:
             acc[0] += t.time_s
             acc[1] += t.compute_s
             acc[2] += t.memory_s
+
+    # -- closed-form per-step decode series ----------------------------------
+
+    def time_decode_series(self, model: ModelConfig, batch_size: int,
+                           kv_start: int, kv_end: int):
+        """Per-step decode pricing for every ``kv_len`` in ``[kv_start, kv_end)``.
+
+        Returns three lists of length ``kv_end - kv_start`` — per-step
+        ``(time_s, compute_s, memory_s)`` — using the same
+        piecewise-affine analysis as :meth:`time_decode_range`: each op's
+        affine segments are located once, interior steps are filled by
+        endpoint interpolation, and every affine run is verified against a
+        probe evaluation of the exact pricer (falling back to dense
+        pricing when the affine assumption fails). The serving layer's
+        step-cost tables turn these into prefix sums, which is what lets
+        a discrete-event simulator fast-forward whole decode intervals.
+
+        Runs in O(#ops x #breakpoints) per-step pricings plus O(steps)
+        arithmetic, instead of O(steps x ops x engines).
+        """
+        steps = kv_end - kv_start
+        if steps <= 0:
+            return [], [], []
+        out_t = [0.0] * steps
+        out_c = [0.0] * steps
+        out_m = [0.0] * steps
+        ops_lo = _decode_step_ops_cached(model, batch_size, kv_start,
+                                         self.dtype)
+        ops_hi = _decode_step_ops_cached(model, batch_size, kv_end - 1,
+                                         self.dtype)
+        kv_mid = kv_start + steps // 2
+        ops_mid = _decode_step_ops_cached(model, batch_size, kv_mid,
+                                          self.dtype) if steps > 8 else None
+        for index, (op_lo, op_hi) in enumerate(zip(ops_lo, ops_hi)):
+            if op_lo == op_hi:
+                # kv_len-independent op: price once, add to every step.
+                timing = self.time_op(op_lo)
+                t_s, c_s, m_s = timing.time_s, timing.compute_s, \
+                    timing.memory_s
+                for i in range(steps):
+                    out_t[i] += t_s
+                    out_c[i] += c_s
+                    out_m[i] += m_s
+                continue
+            self._series_varying_op(
+                model, batch_size, index, op_lo, op_hi, kv_start, kv_end,
+                kv_mid, ops_mid[index] if ops_mid is not None else None,
+                out_t, out_c, out_m)
+        return out_t, out_c, out_m
+
+    def _series_varying_op(self, model: ModelConfig, batch_size: int,
+                           index: int, op_lo: Op, op_hi: Op,
+                           kv_start: int, kv_end: int,
+                           kv_mid: int, op_mid: Optional[Op],
+                           out_t, out_c, out_m) -> None:
+        """Fill per-step best-engine legs of one kv-varying op."""
+        analyzable, varying, slope, offset, timing_at, op_at, memo = \
+            self._varying_op_pricer(model, batch_size, index, op_lo, op_hi,
+                                    kv_start, kv_end, kv_mid, op_mid)
+        base = kv_start
+        if not analyzable:
+            self._series_exact(timing_at, kv_start, kv_end, base,
+                               out_t, out_c, out_m)
+            return
+        # Memory-dominated fast path — see _sum_varying_op: when every
+        # engine's compute leg at the top of the range sits below its
+        # memory leg at the bottom, all candidates price as parallel
+        # affine lines and the whole range is one affine run.
+        cand_lo = self._candidates(op_lo)
+        cand_hi = self._candidates(op_hi)
+        if all(c1.compute_s <= c0.memory_s
+               for c0, c1 in zip(cand_lo, cand_hi)):
+            memo.setdefault(kv_start, min(cand_lo, key=lambda t: t.time_s))
+            memo.setdefault(kv_end - 1, min(cand_hi, key=lambda t: t.time_s))
+            self._series_affine_run(timing_at, kv_start, kv_end, base,
+                                    out_t, out_c, out_m)
+            return
+        bounds = self._tile_cut_bounds(varying, slope, offset,
+                                       kv_start, kv_end)
+        for lo, hi in zip(bounds, bounds[1:]):
+            self._series_tile_segment(timing_at, op_at, memo, lo, hi, base,
+                                      out_t, out_c, out_m)
+
+    def _series_tile_segment(self, timing_at, op_at, memo: Dict[int, OpTiming],
+                             lo: int, hi: int, base: int,
+                             out_t, out_c, out_m) -> None:
+        """Per-step fill of one tile-aligned segment (see _sum_tile_segment)."""
+        count = hi - lo
+        if count <= 4:
+            self._series_exact(timing_at, lo, hi, base, out_t, out_c, out_m)
+            return
+        span = hi - 1 - lo
+        cand_lo = self._candidates(op_at(lo))
+        cand_hi = self._candidates(op_at(hi - 1))
+        memo.setdefault(lo, min(cand_lo, key=lambda t: t.time_s))
+        memo.setdefault(hi - 1, min(cand_hi, key=lambda t: t.time_s))
+        lines = []
+        for c0, c1 in zip(cand_lo, cand_hi):
+            lines.append((c0.compute_s + c0.overhead_s,
+                          (c1.compute_s - c0.compute_s) / span))
+            lines.append((c0.memory_s + c0.overhead_s,
+                          (c1.memory_s - c0.memory_s) / span))
+        cuts = {lo, hi}
+        for i in range(len(lines)):
+            a0, b0 = lines[i]
+            for j in range(i + 1, len(lines)):
+                a1, b1 = lines[j]
+                if b0 == b1:
+                    continue
+                x = (a1 - a0) / (b0 - b1)
+                if 0.0 < x < span:
+                    kv_x = lo + int(x)
+                    for kv_c in (kv_x, kv_x + 1):
+                        if lo < kv_c < hi:
+                            cuts.add(kv_c)
+        bounds = sorted(cuts)
+        for a, b in zip(bounds, bounds[1:]):
+            self._series_affine_run(timing_at, a, b, base,
+                                    out_t, out_c, out_m)
+
+    def _series_affine_run(self, timing_at, lo: int, hi: int, base: int,
+                           out_t, out_c, out_m) -> None:
+        """Interpolated per-step fill over one probe-verified affine run.
+
+        Mirrors :meth:`_sum_affine_run`: the run's endpoints come from the
+        exact per-step pricer, a midpoint probe verifies affinity (bisecting
+        down to exact evaluation on failure), and interior steps linearly
+        interpolate — so every filled value matches the exact pricer to
+        within the probe tolerance (1e-11 relative).
+        """
+        count = hi - lo
+        if count <= 4:
+            self._series_exact(timing_at, lo, hi, base, out_t, out_c, out_m)
+            return
+        t_lo, t_hi = timing_at(lo), timing_at(hi - 1)
+        fields_lo = (t_lo.time_s, t_lo.compute_s, t_lo.memory_s)
+        fields_hi = (t_hi.time_s, t_hi.compute_s, t_hi.memory_s)
+        span = count - 1
+        probe = lo + span // 2
+        t_p = timing_at(probe)
+        frac = (probe - lo) / span
+        for got, f0, f1 in zip((t_p.time_s, t_p.compute_s, t_p.memory_s),
+                               fields_lo, fields_hi):
+            want = f0 + (f1 - f0) * frac
+            if abs(got - want) > 1e-11 * max(abs(got), abs(want), 1e-30):
+                mid = lo + count // 2
+                self._series_affine_run(timing_at, lo, mid, base,
+                                        out_t, out_c, out_m)
+                self._series_affine_run(timing_at, mid, hi, base,
+                                        out_t, out_c, out_m)
+                return
+        t0, c0, m0 = fields_lo
+        dt = (fields_hi[0] - t0) / span
+        dc = (fields_hi[1] - c0) / span
+        dm = (fields_hi[2] - m0) / span
+        for i in range(count):
+            idx = lo - base + i
+            out_t[idx] += t0 + dt * i
+            out_c[idx] += c0 + dc * i
+            out_m[idx] += m0 + dm * i
+
+    @staticmethod
+    def _series_exact(timing_at, lo: int, hi: int, base: int,
+                      out_t, out_c, out_m) -> None:
+        """Dense per-step fill (short or irregular runs)."""
+        for kv in range(lo, hi):
+            t = timing_at(kv)
+            idx = kv - base
+            out_t[idx] += t.time_s
+            out_c[idx] += t.compute_s
+            out_m[idx] += t.memory_s
 
 
 @dataclasses.dataclass(frozen=True)

@@ -1,0 +1,215 @@
+"""Shared step-cost memoization for the serving and cluster layers.
+
+The discrete-event serving simulators price the same two primitives over
+and over: a single-sequence prefill at some prompt length, and one fused
+decode iteration at some (batch size, mean kv length). Both are pure
+functions of ``(platform pricing signature, model, shape)``, so a fleet
+of replicas re-derives identical numbers millions of times.
+
+:class:`DecodeCostTable` memoizes them once per
+``(pricing_signature, model)`` and — the part that enables event-horizon
+fast-forward (:meth:`repro.cluster.node.ReplicaNode.advance_to`) — keeps
+per-batch-size *prefix-sum curves* of decode step cost, built lazily in
+chunks from :meth:`~repro.engine.executor.OperatorExecutor.time_decode_series`:
+
+``prefix_t[i]`` = total time of decode steps at ``kv_len`` 1..i, so
+
+* one iteration at ``kv`` costs ``prefix_t[kv] - prefix_t[kv - 1]``,
+* a whole run of ``k`` iterations starting at mean kv ``m`` costs
+  ``prefix_t[m + k - 1] - prefix_t[m - 1]`` (one subtraction), and
+* "how many iterations start before a deadline" is one binary search
+  over the curve (:meth:`DecodeCostTable.steps_within`).
+
+Tables are shared across every replica with an equal pricing signature
+via the module registry (:func:`decode_cost_table`);
+:func:`repro.experiments.clear_caches` empties the registry whenever
+calibration constants change, which is the memo-invalidation rule — keys
+capture platform, dtype, bandwidth, and compute scale, but *not* the
+process-wide calibration tables those were derived from.
+"""
+
+import bisect
+from typing import Dict, List, Tuple
+
+from repro.engine.executor import OperatorExecutor
+from repro.hardware.datatypes import DType
+from repro.models.config import ModelConfig
+from repro.models.opgraph import prefill_ops
+
+#: Minimum extension chunk: large enough to amortize the closed-form
+#: series analysis, small enough not to over-price short workloads.
+_MIN_CHUNK = 256
+
+
+class _BatchCurve:
+    """Prefix-sum decode cost curves for one batch size.
+
+    ``prefix_t[i]`` sums step times for ``kv_len`` in ``[1, i]`` (index 0
+    is the empty sum), with matching compute/memory-leg curves for trace
+    attribution. Curves grow by doubling so a trace that decodes to kv
+    4000 pays O(log) extension calls, each a closed-form series build.
+    """
+
+    __slots__ = ("_executor", "_model", "_batch",
+                 "prefix_t", "prefix_c", "prefix_m")
+
+    def __init__(self, executor: OperatorExecutor, model: ModelConfig,
+                 batch: int):
+        self._executor = executor
+        self._model = model
+        self._batch = batch
+        self.prefix_t: List[float] = [0.0]
+        self.prefix_c: List[float] = [0.0]
+        self.prefix_m: List[float] = [0.0]
+
+    def ensure(self, kv_end: int) -> None:
+        """Extend the curves so every ``kv_len < kv_end`` is priced."""
+        have = len(self.prefix_t)  # kv values 1..have-1 are priced
+        if kv_end <= have:
+            return
+        target = max(kv_end, 2 * (have - 1), _MIN_CHUNK + 1)
+        ts, cs, ms = self._executor.time_decode_series(
+            self._model, self._batch, have, target)
+        pt, pc, pm = self.prefix_t, self.prefix_c, self.prefix_m
+        t, c, m = pt[-1], pc[-1], pm[-1]
+        for dt, dc, dm in zip(ts, cs, ms):
+            t += dt
+            c += dc
+            m += dm
+            pt.append(t)
+            pc.append(c)
+            pm.append(m)
+
+
+class DecodeCostTable:
+    """Memoized serving-cost primitives for one (executor, model) pairing.
+
+    Prices bit-identically to the executor it wraps (prefill values are
+    cached verbatim; decode values come from the probe-verified
+    closed-form series, which tests pin to the per-step loop at ≤1e-9
+    relative). Obtain instances through :func:`decode_cost_table` so
+    replicas with equal pricing signatures share one table.
+    """
+
+    def __init__(self, executor: OperatorExecutor, model: ModelConfig):
+        self.executor = executor
+        self.model = model
+        self._curves: Dict[int, _BatchCurve] = {}
+        self._prefill: Dict[Tuple[int, int], float] = {}
+        self._prefill_split: Dict[Tuple[int, int],
+                                  Tuple[float, float]] = {}
+
+    def _curve(self, batch: int) -> _BatchCurve:
+        curve = self._curves.get(batch)
+        if curve is None:
+            curve = _BatchCurve(self.executor, self.model, batch)
+            self._curves[batch] = curve
+        return curve
+
+    # -- prefill -----------------------------------------------------------
+
+    def prefill_time(self, batch: int, input_len: int) -> float:
+        """Single prefill pass cost (memoized exact pricing)."""
+        key = (batch, input_len)
+        cached = self._prefill.get(key)
+        if cached is None:
+            ops = prefill_ops(self.model, batch, input_len, DType.BF16)
+            cached = sum(t.time_s for t in self.executor.time_ops(ops))
+            self._prefill[key] = cached
+        return cached
+
+    def prefill_split(self, batch: int, input_len: int):
+        """Memoized (compute_s, memory_s) legs of one prefill pass."""
+        key = (batch, input_len)
+        cached = self._prefill_split.get(key)
+        if cached is None:
+            ops = prefill_ops(self.model, batch, input_len, DType.BF16)
+            timings = self.executor.time_ops(ops)
+            cached = (sum(t.compute_s for t in timings),
+                      sum(t.memory_s for t in timings))
+            self._prefill_split[key] = cached
+        return cached
+
+    # -- decode ------------------------------------------------------------
+
+    def step_time(self, batch: int, kv_len: int) -> float:
+        """One fused decode iteration at ``(batch, kv_len)``."""
+        kv = max(1, kv_len)
+        curve = self._curve(batch)
+        curve.ensure(kv + 1)
+        return curve.prefix_t[kv] - curve.prefix_t[kv - 1]
+
+    def step_split(self, batch: int, kv_len: int):
+        """(compute_s, memory_s) legs of one decode iteration."""
+        kv = max(1, kv_len)
+        curve = self._curve(batch)
+        curve.ensure(kv + 1)
+        return (curve.prefix_c[kv] - curve.prefix_c[kv - 1],
+                curve.prefix_m[kv] - curve.prefix_m[kv - 1])
+
+    def range_cost(self, batch: int, kv_start: int, kv_end: int):
+        """(time, compute, memory) summed over ``kv_len`` in ``[kv_start, kv_end)``.
+
+        One subtraction per leg — the closed-form pricing of a whole
+        coalesced decode run.
+        """
+        curve = self._curve(batch)
+        curve.ensure(kv_end)
+        a, b = kv_start - 1, kv_end - 1
+        return (curve.prefix_t[b] - curve.prefix_t[a],
+                curve.prefix_c[b] - curve.prefix_c[a],
+                curve.prefix_m[b] - curve.prefix_m[a])
+
+    def step_times(self, batch: int, kv_start: int,
+                   kv_end: int) -> List[float]:
+        """Per-iteration times for ``kv_len`` in ``[kv_start, kv_end)``.
+
+        Used to expand a coalesced run back into individual inter-token
+        gaps when a caller collects the gap distribution.
+        """
+        curve = self._curve(batch)
+        curve.ensure(kv_end)
+        pt = curve.prefix_t
+        # Slice-pair differencing: same values as indexing pt[kv]-pt[kv-1]
+        # per kv, without a Python-level index computation per step.
+        return [b - a for a, b in zip(pt[kv_start - 1:kv_end - 1],
+                                      pt[kv_start:kv_end])]
+
+    def steps_within(self, batch: int, kv_start: int, budget: float,
+                     limit: int) -> int:
+        """Iterations (≤ *limit*) whose start falls strictly inside *budget*.
+
+        Iteration ``j`` (0-based, kv ``kv_start + j``) starts after the
+        cumulative cost of its predecessors; it runs iff that start is
+        strictly below *budget* — the same strict comparison the step
+        loop's event ordering applies, found by one ``bisect`` over the
+        prefix curve instead of ``j`` additions.
+        """
+        curve = self._curve(batch)
+        curve.ensure(kv_start + limit)
+        base = kv_start - 1
+        target = curve.prefix_t[base] + budget
+        return bisect.bisect_left(curve.prefix_t, target, base,
+                                  base + limit) - base
+
+
+#: Registry of shared tables, keyed by (pricing signature, model). Model
+#: configs are frozen dataclasses, so equal configs share even across
+#: separately-built replicas.
+_TABLES: Dict[tuple, DecodeCostTable] = {}
+
+
+def decode_cost_table(executor: OperatorExecutor,
+                      model: ModelConfig) -> DecodeCostTable:
+    """The shared cost table for *executor*'s pricing signature and *model*."""
+    key = (executor.pricing_signature, model)
+    table = _TABLES.get(key)
+    if table is None:
+        table = DecodeCostTable(executor, model)
+        _TABLES[key] = table
+    return table
+
+
+def clear_decode_cost_tables() -> None:
+    """Empty the table registry (calibration constants changed)."""
+    _TABLES.clear()

@@ -80,11 +80,13 @@ def clear_caches() -> None:
     """Reset every memoization layer (for tests that tweak calibrations).
 
     Clears the in-memory sweep caches *and* the pricing-layer caches
-    (GEMM efficiency, prefill/decode operator graphs) so a subsequent run
-    re-derives everything from current calibration constants. The on-disk
-    sweep cache needs no clearing: its keys hash the calibration inputs,
-    so changed constants simply miss.
+    (GEMM efficiency, prefill/decode operator graphs, the serving layer's
+    shared step-cost tables) so a subsequent run re-derives everything
+    from current calibration constants. The on-disk sweep cache needs no
+    clearing: its keys hash the calibration inputs, so changed constants
+    simply miss.
     """
+    from repro.engine.stepcost import clear_decode_cost_tables
     from repro.gemm.efficiency import clear_gemm_efficiency_cache
     from repro.models.opgraph import clear_opgraph_caches
 
@@ -92,3 +94,4 @@ def clear_caches() -> None:
     _GPU_ROWS_CACHE.clear()
     clear_gemm_efficiency_cache()
     clear_opgraph_caches()
+    clear_decode_cost_tables()

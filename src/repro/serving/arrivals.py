@@ -9,7 +9,7 @@ section cites (Orca, vLLM, Sarathi).
 
 import dataclasses
 import random
-from typing import List, Optional, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 from repro.utils.validation import require_positive
 
@@ -46,6 +46,54 @@ def _spec_ranges(spec: Optional[object]) -> Tuple[Tuple[int, int],
     return spec.input_len_range, spec.output_len_range
 
 
+def _check_stream_bounds(count: Optional[int],
+                         duration_s: Optional[float]) -> None:
+    if count is None and duration_s is None:
+        raise ValueError("an arrival stream needs a bound: pass count, "
+                         "duration_s, or both")
+    if count is not None:
+        require_positive(count, "count")
+    if duration_s is not None:
+        require_positive(duration_s, "duration_s")
+
+
+def iter_poisson_arrivals(rate_per_s: float, count: Optional[int] = None,
+                          duration_s: Optional[float] = None,
+                          spec: Optional[object] = None,
+                          seed: int = 0) -> Iterator[ArrivingRequest]:
+    """Lazily generate Poisson arrivals, never materializing the stream.
+
+    Yields time-ordered :class:`ArrivingRequest` records until *count*
+    requests have been produced or the next arrival would land past
+    *duration_s* (at least one bound is required; both may be given).
+    Draws the same random sequence as :func:`poisson_arrivals`, so for
+    equal ``(rate, count, spec, seed)`` the two produce identical
+    requests — the list form is just this generator collected.
+    Arguments are validated eagerly, at the call, not at first ``next``.
+    """
+    require_positive(rate_per_s, "rate_per_s")
+    _check_stream_bounds(count, duration_s)
+    input_range, output_range = _spec_ranges(spec)
+
+    def generate() -> Iterator[ArrivingRequest]:
+        rng = random.Random(seed)
+        now = 0.0
+        request_id = 0
+        while count is None or request_id < count:
+            now += rng.expovariate(rate_per_s)
+            if duration_s is not None and now > duration_s:
+                return
+            yield ArrivingRequest(
+                request_id=request_id,
+                arrival_s=now,
+                input_len=rng.randint(*input_range),
+                output_len=rng.randint(*output_range),
+            )
+            request_id += 1
+
+    return generate()
+
+
 def poisson_arrivals(rate_per_s: float, count: int,
                      spec: Optional[object] = None,
                      seed: int = 0) -> List[ArrivingRequest]:
@@ -57,21 +105,50 @@ def poisson_arrivals(rate_per_s: float, count: int,
     chatbot-like default. Deterministic for a fixed (rate, count, spec,
     seed).
     """
-    require_positive(rate_per_s, "rate_per_s")
-    require_positive(count, "count")
+    return list(iter_poisson_arrivals(rate_per_s, count=count, spec=spec,
+                                      seed=seed))
+
+
+def iter_bursty_arrivals(base_rate_per_s: float, burst_rate_per_s: float,
+                         count: Optional[int] = None,
+                         duration_s: Optional[float] = None,
+                         spec: Optional[object] = None,
+                         burst_s: float = 10.0, period_s: float = 60.0,
+                         seed: int = 0) -> Iterator[ArrivingRequest]:
+    """Lazily generate a two-phase bursty stream (see :func:`bursty_arrivals`).
+
+    Same bounds contract as :func:`iter_poisson_arrivals` (eager
+    validation included) and the same random sequence as the list form
+    for equal parameters.
+    """
+    require_positive(base_rate_per_s, "base_rate_per_s")
+    require_positive(burst_rate_per_s, "burst_rate_per_s")
+    _check_stream_bounds(count, duration_s)
+    require_positive(burst_s, "burst_s")
+    if period_s <= burst_s:
+        raise ValueError(f"period_s ({period_s}) must exceed burst_s "
+                         f"({burst_s})")
     input_range, output_range = _spec_ranges(spec)
-    rng = random.Random(seed)
-    now = 0.0
-    requests: List[ArrivingRequest] = []
-    for request_id in range(count):
-        now += rng.expovariate(rate_per_s)
-        requests.append(ArrivingRequest(
-            request_id=request_id,
-            arrival_s=now,
-            input_len=rng.randint(*input_range),
-            output_len=rng.randint(*output_range),
-        ))
-    return requests
+
+    def generate() -> Iterator[ArrivingRequest]:
+        rng = random.Random(seed)
+        now = 0.0
+        request_id = 0
+        while count is None or request_id < count:
+            in_burst = (now % period_s) < burst_s
+            rate = burst_rate_per_s if in_burst else base_rate_per_s
+            now += rng.expovariate(rate)
+            if duration_s is not None and now > duration_s:
+                return
+            yield ArrivingRequest(
+                request_id=request_id,
+                arrival_s=now,
+                input_len=rng.randint(*input_range),
+                output_len=rng.randint(*output_range),
+            )
+            request_id += 1
+
+    return generate()
 
 
 def bursty_arrivals(base_rate_per_s: float, burst_rate_per_s: float,
@@ -88,28 +165,10 @@ def bursty_arrivals(base_rate_per_s: float, burst_rate_per_s: float,
     current instant. Same *spec* contract and determinism guarantees as
     :func:`poisson_arrivals`.
     """
-    require_positive(base_rate_per_s, "base_rate_per_s")
-    require_positive(burst_rate_per_s, "burst_rate_per_s")
-    require_positive(count, "count")
-    require_positive(burst_s, "burst_s")
-    if period_s <= burst_s:
-        raise ValueError(f"period_s ({period_s}) must exceed burst_s "
-                         f"({burst_s})")
-    input_range, output_range = _spec_ranges(spec)
-    rng = random.Random(seed)
-    now = 0.0
-    requests: List[ArrivingRequest] = []
-    for request_id in range(count):
-        in_burst = (now % period_s) < burst_s
-        rate = burst_rate_per_s if in_burst else base_rate_per_s
-        now += rng.expovariate(rate)
-        requests.append(ArrivingRequest(
-            request_id=request_id,
-            arrival_s=now,
-            input_len=rng.randint(*input_range),
-            output_len=rng.randint(*output_range),
-        ))
-    return requests
+    return list(iter_bursty_arrivals(base_rate_per_s, burst_rate_per_s,
+                                     count=count, spec=spec,
+                                     burst_s=burst_s, period_s=period_s,
+                                     seed=seed))
 
 
 def merge_arrivals(*streams: List[ArrivingRequest]) -> List[ArrivingRequest]:

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.engine.executor import OperatorExecutor
 from repro.engine.inference import DEFAULT_ENGINE_CONFIG, EngineConfig, InferenceSimulator
+from repro.engine.stepcost import DecodeCostTable, decode_cost_table
 from repro.engine.request import InferenceRequest
 from repro.hardware.datatypes import DType
 from repro.hardware.platform import Platform
@@ -81,6 +82,10 @@ class ServingReport:
             long each was stalled between its consecutive tokens —
             admission prefills inflate this for continuous batching, which
             is exactly what chunked prefill bounds).
+
+    ``completed`` is never empty — every runner raises ``ValueError``
+    on an empty arrival stream — so the latency statistics below are
+    always defined.
     """
 
     policy: str
@@ -178,6 +183,17 @@ class BatchingSimulator:
                 f"batch {max_batch}; the batching simulator covers "
                 "in-memory serving only")
         self._executor: OperatorExecutor = simulator._executor(model, sizing)
+
+    @property
+    def cost_table(self) -> DecodeCostTable:
+        """Shared step-cost memo for this simulator's pricing signature.
+
+        Replicas built against the same platform/model/sizing resolve to
+        the same table (the registry keys on the executor's pricing
+        signature), so a fleet warms one prefix-sum curve set, not one
+        per node. Cleared by :func:`repro.experiments.clear_caches`.
+        """
+        return decode_cost_table(self._executor, self.model)
 
     # -- cost primitives ----------------------------------------------------
 
@@ -291,31 +307,42 @@ class BatchingSimulator:
     # -- continuous batching --------------------------------------------------
 
     def run_continuous(self, arrivals: Sequence[ArrivingRequest],
-                       tracer: Tracer = NOOP_TRACER) -> ServingReport:
+                       tracer: Tracer = NOOP_TRACER,
+                       exact: bool = False) -> ServingReport:
         """Orca-style iteration-level scheduling with immediate admission.
 
         Each scheduler iteration admits everything that has arrived, up
         to capacity — each admission pays its prefill pass serially, and
         while an admission prefill runs, already-running sequences stall
         (the inter-token gap chunked prefill exists to bound) — then
-        retires finished sequences and runs one fused decode step.
+        retires finished sequences and runs one fused decode step. A
+        request arriving mid-iteration is considered at the next
+        iteration boundary, exactly as in the fleet simulator.
 
         The loop itself lives in :class:`repro.cluster.node.ReplicaNode`
         (the iteration-steppable form the fleet simulator interleaves);
-        this method drives one node over the whole trace. With a
-        recording *tracer*, the node emits request-lifecycle and replica
-        iteration spans (track ``replica/single``).
+        this method drives one node with the cluster loop's own call
+        sequence — ``advance_to`` each arrival, submit, drain — so a
+        one-replica :class:`~repro.cluster.simulator.ClusterSimulator`
+        reproduces it bit-exactly. By default pure-decode stretches are
+        fast-forwarded in closed form; ``exact=True`` steps and prices
+        every iteration individually (the two agree to ≤1e-9 relative).
+        With a recording *tracer*, the node emits request-lifecycle and
+        replica iteration spans (track ``replica/single``).
         """
         # Imported here: the cluster layer sits above serving, and only
         # this whole-trace convenience wrapper reaches up into it.
         from repro.cluster.node import ReplicaNode
 
-        node = ReplicaNode("single", simulator=self, tracer=tracer)
+        node = ReplicaNode("single", simulator=self, tracer=tracer,
+                           exact=exact, collect_gaps=True)
         for request in sorted(arrivals, key=lambda r: r.arrival_s):
+            node.advance_to(request.arrival_s)
             node.submit(request)
-        while node.has_work:
-            node.advance()
+        node.advance_to(None)
         completed = sorted(node.completed, key=lambda r: r.finish_s)
+        if not completed:
+            raise ValueError("no arrivals to serve")
         return ServingReport("continuous", completed,
                              makespan_s=max(r.finish_s for r in completed),
                              generated_tokens=node.generated_tokens,

@@ -9,8 +9,6 @@ silently degraded to the maximum on short streams.
 
 from typing import Sequence
 
-from repro.utils.validation import require_positive
-
 
 def percentile(values: Sequence[float], q: float) -> float:
     """The *q*-th percentile of *values* by linear interpolation.
@@ -24,7 +22,11 @@ def percentile(values: Sequence[float], q: float) -> float:
     """
     if not 0 <= q <= 100:
         raise ValueError(f"q must be in [0, 100], got {q!r}")
-    require_positive(len(values), "len(values)")
+    if not values:
+        raise ValueError(
+            f"percentile(q={q!r}) of an empty sequence is undefined — "
+            "the run completed zero requests; check the report before "
+            "reading latency statistics")
     ordered = sorted(values)
     rank = (q / 100.0) * (len(ordered) - 1)
     lower = int(rank)
@@ -36,5 +38,9 @@ def percentile(values: Sequence[float], q: float) -> float:
 
 def mean(values: Sequence[float]) -> float:
     """Arithmetic mean of a non-empty sequence."""
-    require_positive(len(values), "len(values)")
+    if not values:
+        raise ValueError(
+            "mean() of an empty sequence is undefined — the run "
+            "completed zero requests; check the report before reading "
+            "latency statistics")
     return sum(values) / len(values)

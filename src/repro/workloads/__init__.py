@@ -10,6 +10,7 @@ from repro.workloads.generator import (
     translation_workload,
 )
 from repro.workloads.serving import ServingStats, serve
+from repro.workloads.streams import stream_trace_file, stream_workload
 from repro.workloads.traces import (
     Trace,
     load_trace,
@@ -26,6 +27,8 @@ __all__ = [
     "load_trace",
     "merge_traces",
     "save_trace",
+    "stream_trace_file",
+    "stream_workload",
     "synthesize_trace",
     "batch_analytics_workload",
     "chatbot_workload",

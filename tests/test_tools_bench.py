@@ -47,3 +47,33 @@ def test_bench_sweep_json_checked_in_record():
     assert sweep["speedup_cold"] >= 10.0
     assert sweep["max_rel_err"] <= 1e-9
     assert record["decode_micro"]["speedup"] >= 10.0
+
+
+def test_bench_cluster_quick_emits_valid_json(tmp_path):
+    out = tmp_path / "bench_cluster.json"
+    env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+    proc = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "tools" / "bench.py"),
+         "--suite", "cluster", "--quick", "--repeat", "1",
+         "--json", str(out)],
+        capture_output=True, text=True, env=env, cwd=str(REPO_ROOT))
+    assert proc.returncode == 0, proc.stderr
+
+    report = json.loads(out.read_text())
+    assert report["quick"] is True
+    cluster = report["cluster"]
+    assert cluster["requests"] == 2_000
+    assert cluster["exact_s"] > cluster["fast_s"] > 0
+    assert cluster["speedup"] == cluster["exact_s"] / cluster["fast_s"]
+    assert cluster["max_rel_err"] <= 1e-9
+    assert "cluster (" in proc.stdout
+
+
+def test_bench_cluster_json_checked_in_record():
+    """The committed BENCH_cluster.json must hold a full 100k-request run."""
+    record = json.loads((REPO_ROOT / "BENCH_cluster.json").read_text())
+    assert record["quick"] is False
+    cluster = record["cluster"]
+    assert cluster["requests"] == 100_000
+    assert cluster["speedup"] >= 30.0
+    assert cluster["max_rel_err"] <= 1e-9

@@ -39,6 +39,13 @@ class TestPercentile:
         with pytest.raises(ValueError):
             percentile([], 50)
 
+    def test_empty_error_names_the_likely_cause(self):
+        # The message must point at the zero-completion run, not just
+        # restate "empty sequence" — that is what a report reader sees.
+        with pytest.raises(ValueError,
+                           match="zero requests.*check the report"):
+            percentile([], 95)
+
     @pytest.mark.parametrize("q", [-1, 100.5, 1000])
     def test_out_of_range_q_rejected(self, q):
         with pytest.raises(ValueError, match="q must be"):
@@ -51,4 +58,9 @@ class TestMean:
 
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
+            mean([])
+
+    def test_empty_error_names_the_likely_cause(self):
+        with pytest.raises(ValueError,
+                           match="zero requests.*check the report"):
             mean([])

@@ -82,3 +82,61 @@ class TestServing:
         icl = serve(get_platform("icl"), model, requests)
         spr = serve(get_platform("spr"), model, requests)
         assert spr.throughput > icl.throughput
+
+
+class TestStreams:
+    """Lazy arrival streams: same draws as the list forms, O(1) memory."""
+
+    def test_stream_matches_list_form(self):
+        from repro.serving.arrivals import poisson_arrivals
+        from repro.workloads.streams import stream_workload
+
+        spec = chatbot_workload()
+        assert list(stream_workload(spec, 2.0, count=50, seed=4)) == \
+            poisson_arrivals(2.0, 50, spec, seed=4)
+
+    def test_bursty_stream_matches_list_form(self):
+        from repro.serving.arrivals import bursty_arrivals
+        from repro.workloads.streams import stream_workload
+
+        spec = chatbot_workload()
+        assert list(stream_workload(spec, 0.5, count=30,
+                                    burst_rate_per_s=4.0, seed=2)) == \
+            bursty_arrivals(0.5, 4.0, 30, spec, seed=2)
+
+    def test_duration_bound_caps_the_stream(self):
+        from repro.workloads.streams import stream_workload
+
+        requests = list(stream_workload(None, 2.0, duration_s=30.0, seed=1))
+        assert requests
+        assert all(r.arrival_s <= 30.0 for r in requests)
+        # Both bounds together: whichever bites first ends the stream.
+        capped = list(stream_workload(None, 2.0, count=5, duration_s=30.0,
+                                      seed=1))
+        assert capped == requests[:5]
+
+    def test_unbounded_stream_rejected(self):
+        from repro.workloads.streams import stream_workload
+
+        with pytest.raises(ValueError, match="bound"):
+            stream_workload(None, 2.0)
+
+    def test_trace_file_replay_is_lazy_and_faithful(self, tmp_path):
+        from repro.workloads.streams import stream_trace_file
+        from repro.workloads.traces import save_trace, synthesize_trace
+
+        trace = synthesize_trace("replay", chatbot_workload(), 2.0, 12,
+                                 seed=5)
+        path = tmp_path / "trace.csv"
+        save_trace(trace, str(path))
+        stream = stream_trace_file(str(path))
+        assert next(stream) == trace.requests[0]  # consumable one at a time
+        assert list(stream) == trace.requests[1:]
+
+    def test_trace_file_rejects_malformed_lines(self, tmp_path):
+        from repro.workloads.streams import stream_trace_file
+
+        path = tmp_path / "bad.csv"
+        path.write_text("0,0.5,64\n")
+        with pytest.raises(ValueError, match="malformed"):
+            list(stream_trace_file(str(path)))

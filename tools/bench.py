@@ -1,30 +1,36 @@
 #!/usr/bin/env python
-"""Performance benchmark for the simulation hot path.
+"""Performance benchmarks for the simulation hot paths.
 
-Times two things and writes the results as JSON (``BENCH_sweep.json`` by
-default) so future PRs can track the performance trajectory:
+Two suites, each writing a JSON report so future PRs can track the
+performance trajectory:
 
-* **fig-8 grid** — the paper's 8 models x {ICL, SPR} x batches 1-32 sweep,
-  priced with the pre-PR per-step decode loop (``exact=True``, pricing
-  caches cleared first) and with the analytical fast path
-  (:meth:`OperatorExecutor.time_decode_range`), cold and warm.
-* **decode-pricing microbenchmark** — one long-decode request priced per
-  step vs. analytically.
+* ``--suite sweep`` (default, ``BENCH_sweep.json``) — the paper's fig-8
+  grid priced with the pre-PR per-step decode loop (``exact=True``,
+  pricing caches cleared first) and with the analytical fast path
+  (:meth:`OperatorExecutor.time_decode_range`), cold and warm, plus a
+  long-decode pricing microbenchmark.
+* ``--suite cluster`` (``BENCH_cluster.json``) — a 100k-request,
+  three-replica serving run stepped per iteration (``exact=True``) vs.
+  the event-horizon fast-forward loop, reporting simulated requests per
+  wall-second and the speedup.
 
-Both modes also cross-check that fast-path metrics agree with the exact
-loop (max relative error is recorded in the JSON).
+Every suite cross-checks that the fast path agrees with its exact
+reference (max relative error is recorded in the JSON).
 
 Usage::
 
-    PYTHONPATH=src python tools/bench.py --json BENCH_sweep.json
-    PYTHONPATH=src python tools/bench.py --quick   # tiny grid, smoke tests
+    PYTHONPATH=src python tools/bench.py
+    PYTHONPATH=src python tools/bench.py --suite cluster
+    PYTHONPATH=src python tools/bench.py --quick   # tiny runs, smoke tests
 """
 
 import argparse
 import contextlib
 import json
 import sys
+import time
 import timeit
+from types import SimpleNamespace
 
 import repro.engine.executor as _executor_mod
 import repro.gemm.efficiency as _efficiency_mod
@@ -238,41 +244,150 @@ def bench_decode_micro(quick: bool, repeat: int) -> dict:
     }
 
 
+# Decode-heavy request mix for the cluster suite: short prompts, long
+# generations, so pure-decode stretches dominate — the regime the
+# event-horizon fast-forward targets (and the worst case for the
+# per-iteration loop).
+CLUSTER_SPEC = SimpleNamespace(input_len_range=(16, 64),
+                               output_len_range=(96, 192))
+CLUSTER_REPLICAS = 3
+CLUSTER_MAX_BATCH = 8
+CLUSTER_RATE_PER_S = 2.0  # saturates the 3-replica SPR fleet
+CLUSTER_SEED = 7
+
+
+def _cluster_run(count: int, exact: bool):
+    """One cold cluster run; returns (wall seconds, ClusterReport)."""
+    from repro.cluster import ClusterSimulator, ReplicaNode, RoundRobinRouter
+    from repro.workloads.streams import stream_workload
+
+    clear_caches()
+    model = get_model("llama2-7b")
+    nodes = [ReplicaNode(f"spr-{i}", get_platform("spr"), model,
+                         max_batch=CLUSTER_MAX_BATCH)
+             for i in range(CLUSTER_REPLICAS)]
+    simulator = ClusterSimulator(nodes, RoundRobinRouter(), exact=exact)
+    arrivals = stream_workload(CLUSTER_SPEC, CLUSTER_RATE_PER_S,
+                               count=count, seed=CLUSTER_SEED)
+    begin = time.perf_counter()
+    report = simulator.run(arrivals)
+    return time.perf_counter() - begin, report
+
+
+def _cluster_rel_err(exact_report, fast_report) -> float:
+    """Worst relative disagreement across report and per-request fields."""
+    worst = 0.0
+
+    def update(want, got):
+        nonlocal worst
+        worst = max(worst,
+                    abs(got - want) / max(abs(got), abs(want), 1e-300))
+
+    for field in ("makespan_s", "throughput", "mean_ttft_s"):
+        update(getattr(exact_report, field), getattr(fast_report, field))
+    for want, got in zip(exact_report.node_stats, fast_report.node_stats):
+        update(want.busy_s, got.busy_s)
+        if (want.iterations, want.completed, want.generated_tokens) != \
+                (got.iterations, got.completed, got.generated_tokens):
+            return float("inf")
+    by_id = lambda reports: sorted(reports, key=lambda r: r.request_id)
+    for want, got in zip(by_id(exact_report.completed),
+                         by_id(fast_report.completed)):
+        update(want.ttft_s, got.ttft_s)
+        update(want.finish_s, got.finish_s)
+    return worst
+
+
+def bench_cluster(quick: bool, repeat: int) -> dict:
+    """Time a saturated cluster run: per-iteration loop vs fast-forward.
+
+    The exact leg is O(total scheduler iterations) and takes minutes at
+    full scale, so it runs once; the fast leg is repeated (cold each
+    time — the run includes building its step-cost tables).
+    """
+    count = 2_000 if quick else 100_000
+    fast_s = None
+    fast_report = None
+    for _ in range(repeat):
+        elapsed, report = _cluster_run(count, exact=False)
+        if fast_s is None or elapsed < fast_s:
+            fast_s, fast_report = elapsed, report
+    exact_s, exact_report = _cluster_run(count, exact=True)
+    return {
+        "requests": count,
+        "replicas": CLUSTER_REPLICAS,
+        "max_batch": CLUSTER_MAX_BATCH,
+        "rate_per_s": CLUSTER_RATE_PER_S,
+        "iterations": sum(s.iterations for s in fast_report.node_stats),
+        "sim_makespan_s": fast_report.makespan_s,
+        "exact_s": exact_s,
+        "fast_s": fast_s,
+        "speedup": exact_s / fast_s,
+        "requests_per_s": count / fast_s,
+        "max_rel_err": _cluster_rel_err(exact_report, fast_report),
+    }
+
+
+def _print_cluster(cluster: dict) -> None:
+    print(f"cluster ({cluster['requests']:,} requests, "
+          f"{cluster['replicas']} replicas): "
+          f"exact {cluster['exact_s']:.1f}s, "
+          f"fast {cluster['fast_s']:.2f}s "
+          f"({cluster['speedup']:.1f}x, "
+          f"{cluster['requests_per_s']:,.0f} req/s), "
+          f"max rel err {cluster['max_rel_err']:.2e}")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--json", default="BENCH_sweep.json",
-                        help="output path for the JSON report")
+    parser.add_argument("--suite", choices=("sweep", "cluster"),
+                        default="sweep",
+                        help="benchmark suite to run (default: sweep)")
+    parser.add_argument("--json", default=None,
+                        help="output path for the JSON report (default: "
+                             "BENCH_<suite>.json)")
     parser.add_argument("--repeat", type=int, default=5,
                         help="timing repetitions (best is reported)")
     parser.add_argument("--quick", action="store_true",
-                        help="tiny grid for smoke testing")
+                        help="tiny runs for smoke testing")
     args = parser.parse_args(argv)
+    destination = args.json or f"BENCH_{args.suite}.json"
 
-    report = {
-        "benchmark": "fig8-grid + decode-pricing microbenchmark",
-        "quick": args.quick,
-        "fig8_sweep": bench_fig8_sweep(args.quick, args.repeat),
-        "decode_micro": bench_decode_micro(args.quick, args.repeat),
-    }
-    with open(args.json, "w") as fh:
+    if args.suite == "cluster":
+        report = {
+            "benchmark": "cluster event-horizon fast-forward",
+            "quick": args.quick,
+            "cluster": bench_cluster(args.quick, min(args.repeat, 3)),
+        }
+    else:
+        report = {
+            "benchmark": "fig8-grid + decode-pricing microbenchmark",
+            "quick": args.quick,
+            "fig8_sweep": bench_fig8_sweep(args.quick, args.repeat),
+            "decode_micro": bench_decode_micro(args.quick, args.repeat),
+        }
+    with open(destination, "w") as fh:
         json.dump(report, fh, indent=2)
         fh.write("\n")
 
-    sweep = report["fig8_sweep"]
-    micro = report["decode_micro"]
-    print(f"fig-8 grid ({sweep['rows']} rows): "
-          f"exact {sweep['exact_s']:.3f}s, "
-          f"fast cold {sweep['fast_cold_s']:.3f}s "
-          f"({sweep['speedup_cold']:.1f}x), "
-          f"warm {sweep['fast_warm_s']:.3f}s "
-          f"({sweep['speedup_warm']:.1f}x), "
-          f"max rel err {sweep['max_rel_err']:.2e}")
-    print(f"decode micro ({micro['decode_steps']} steps): "
-          f"exact {micro['exact_s']*1e3:.2f}ms, "
-          f"fast {micro['fast_s']*1e3:.2f}ms "
-          f"({micro['speedup']:.1f}x), "
-          f"max rel err {micro['max_rel_err']:.2e}")
-    print(f"wrote {args.json}")
+    if args.suite == "cluster":
+        _print_cluster(report["cluster"])
+    else:
+        sweep = report["fig8_sweep"]
+        micro = report["decode_micro"]
+        print(f"fig-8 grid ({sweep['rows']} rows): "
+              f"exact {sweep['exact_s']:.3f}s, "
+              f"fast cold {sweep['fast_cold_s']:.3f}s "
+              f"({sweep['speedup_cold']:.1f}x), "
+              f"warm {sweep['fast_warm_s']:.3f}s "
+              f"({sweep['speedup_warm']:.1f}x), "
+              f"max rel err {sweep['max_rel_err']:.2e}")
+        print(f"decode micro ({micro['decode_steps']} steps): "
+              f"exact {micro['exact_s']*1e3:.2f}ms, "
+              f"fast {micro['fast_s']*1e3:.2f}ms "
+              f"({micro['speedup']:.1f}x), "
+              f"max rel err {micro['max_rel_err']:.2e}")
+    print(f"wrote {destination}")
     return 0
 
 
