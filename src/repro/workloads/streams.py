@@ -1,0 +1,74 @@
+"""Streaming workloads: arrival generators that never build a list.
+
+The cluster simulator consumes arrivals lazily (it buffers exactly one
+unrouted request), so a million-request trace costs O(1) memory when the
+workload side is a generator too. This module is the workload-level
+face of that contract:
+
+* :func:`stream_workload` — a :class:`~repro.workloads.generator.WorkloadSpec`
+  turned into a lazy Poisson or bursty arrival stream, bounded by a
+  request count, a simulated duration, or both;
+* :func:`stream_trace_file` — replay a :func:`~repro.workloads.traces.save_trace`
+  file line by line without loading it.
+
+Streams must be time-ordered (the simulator enforces this) and every
+generator here is deterministic for fixed parameters, so a benchmark can
+regenerate the identical stream for a second pass (e.g. exact-mode
+comparison or SLO scoring) instead of holding it in memory.
+"""
+
+from typing import Iterator, Optional
+
+from repro.serving.arrivals import (
+    ArrivingRequest,
+    iter_bursty_arrivals,
+    iter_poisson_arrivals,
+)
+from repro.workloads.generator import WorkloadSpec
+
+
+def stream_workload(spec: Optional[WorkloadSpec], rate_per_s: float,
+                    count: Optional[int] = None,
+                    duration_s: Optional[float] = None,
+                    burst_rate_per_s: Optional[float] = None,
+                    burst_s: float = 10.0, period_s: float = 60.0,
+                    seed: int = 0) -> Iterator[ArrivingRequest]:
+    """Lazy arrival stream shaped by *spec*.
+
+    Poisson at *rate_per_s* by default; passing *burst_rate_per_s* makes
+    the stream two-phase bursty (``burst_s``-long windows at the burst
+    rate every ``period_s``). Bounded by *count* requests and/or
+    *duration_s* simulated seconds — at least one bound is required.
+    """
+    if burst_rate_per_s is not None:
+        return iter_bursty_arrivals(rate_per_s, burst_rate_per_s,
+                                    count=count, duration_s=duration_s,
+                                    spec=spec, burst_s=burst_s,
+                                    period_s=period_s, seed=seed)
+    return iter_poisson_arrivals(rate_per_s, count=count,
+                                 duration_s=duration_s, spec=spec,
+                                 seed=seed)
+
+
+def stream_trace_file(path: str) -> Iterator[ArrivingRequest]:
+    """Replay a saved trace file lazily, one request per line.
+
+    Reads the CSV-like format :func:`~repro.workloads.traces.save_trace`
+    writes without materializing the request list; records are yielded
+    in file order, which for saved traces is arrival order.
+    """
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if (not line or line.startswith("# trace:")
+                    or line.startswith("request_id,")):
+                continue
+            fields = line.split(",")
+            if len(fields) != 4:
+                raise ValueError(f"malformed trace line: {line!r}")
+            yield ArrivingRequest(
+                request_id=int(fields[0]),
+                arrival_s=float(fields[1]),
+                input_len=int(fields[2]),
+                output_len=int(fields[3]),
+            )
