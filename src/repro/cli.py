@@ -106,11 +106,37 @@ def _cmd_roofline(args: argparse.Namespace) -> int:
 def _build_fleet(args: argparse.Namespace, model) -> list:
     from repro.cluster import ReplicaNode
 
-    return [
-        ReplicaNode(f"{key}-{index}", get_platform(key), model,
-                    max_batch=args.batch)
-        for index, key in enumerate(args.platforms.split(","))
-    ]
+    keys = args.platforms.split(",")
+    backends = _build_backends(args, len(keys))
+    nodes = []
+    for index, (key, backend) in enumerate(zip(keys, backends)):
+        name = f"{key}-{index}"
+        if backend is not None:
+            name = f"{key}-{backend.label}-{index}"
+        nodes.append(ReplicaNode(name, get_platform(key), model,
+                                 max_batch=args.batch, backend=backend))
+    return nodes
+
+
+def _build_backends(args: argparse.Namespace, replicas: int) -> list:
+    """Per-replica execution backends from ``--backend`` (or all-None).
+
+    One spec broadcasts to every replica; otherwise the comma-separated
+    list must match ``--platforms`` one-for-one.
+    """
+    spec = getattr(args, "backend", None)
+    if not spec:
+        return [None] * replicas
+    from repro.engine.backend import parse_backend
+
+    specs = spec.split(",")
+    if len(specs) == 1:
+        specs = specs * replicas
+    if len(specs) != replicas:
+        raise ValueError(
+            f"--backend lists {len(specs)} specs but --platforms lists "
+            f"{replicas} replicas (give one spec, or one per replica)")
+    return [parse_backend(item) for item in specs]
 
 
 def _build_router(args: argparse.Namespace, slo):
@@ -200,7 +226,11 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             return 2
         tracer = RecordingTracer()
     model = get_model(args.model)
-    nodes = _build_fleet(args, model)
+    try:
+        nodes = _build_fleet(args, model)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     slo = SLO(ttft_s=args.ttft, tpot_s=args.tpot)
     make_arrivals = _arrival_factory(args)
     progress = None
@@ -424,6 +454,14 @@ def build_parser() -> argparse.ArgumentParser:
                                      "stderr is not a terminal")
     cluster_parser.add_argument("--batch", type=int, default=8,
                                 help="per-replica max batch")
+    cluster_parser.add_argument("--backend", default=None,
+                                help="execution backend spec(s): one of "
+                                     "bf16/fp16/fp32/int8/int4/w8a8, with "
+                                     "an optional tpN suffix (e.g. "
+                                     "int8-tp2). One value applies to "
+                                     "every replica; a comma-separated "
+                                     "list assigns per replica and must "
+                                     "match --platforms")
     cluster_parser.add_argument("--ttft", type=float, default=2.0,
                                 help="SLO: seconds to first token")
     cluster_parser.add_argument("--tpot", type=float, default=0.2,

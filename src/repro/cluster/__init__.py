@@ -10,6 +10,7 @@ instead of ceiling division.
 """
 
 from repro.cluster.autoscaler import Autoscaler, NodeTemplate
+from repro.cluster.config import ClusterConfig, ReplicaSpec
 from repro.cluster.events import ClusterEvent
 from repro.cluster.metrics import ClusterReport, NodeStats
 from repro.cluster.node import ReplicaNode
@@ -24,6 +25,7 @@ from repro.cluster.simulator import ClusterSimulator, NodeDrain, NodeFailure
 
 __all__ = [
     "Autoscaler",
+    "ClusterConfig",
     "ClusterEvent",
     "ClusterReport",
     "ClusterSimulator",
@@ -35,6 +37,7 @@ __all__ = [
     "NodeTemplate",
     "PhaseAwareRouter",
     "ReplicaNode",
+    "ReplicaSpec",
     "RoundRobinRouter",
     "Router",
 ]

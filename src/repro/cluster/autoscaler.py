@@ -15,6 +15,7 @@ import itertools
 from typing import Optional, Sequence
 
 from repro.cluster.node import ReplicaNode
+from repro.engine.backend import ExecutionBackend
 from repro.engine.inference import DEFAULT_ENGINE_CONFIG, EngineConfig
 from repro.hardware.platform import Platform
 from repro.models.config import ModelConfig
@@ -30,17 +31,19 @@ class NodeTemplate:
         model: Served model.
         max_batch: Per-replica batching limit.
         config: CPU engine configuration.
+        backend: Execution backend for new replicas (``None`` = BF16).
     """
 
     platform: Platform
     model: ModelConfig
     max_batch: int = 8
     config: EngineConfig = DEFAULT_ENGINE_CONFIG
+    backend: Optional[ExecutionBackend] = None
 
     def build(self, name: str) -> ReplicaNode:
         """Instantiate one replica from the template."""
         return ReplicaNode(name, self.platform, self.model,
-                           self.max_batch, self.config)
+                           self.max_batch, self.config, self.backend)
 
 
 class Autoscaler:

@@ -1,0 +1,97 @@
+"""Declarative fleet construction, including mixed-backend fleets.
+
+A :class:`ClusterConfig` is a list of :class:`ReplicaSpec` groups —
+"2 SPR replicas running BF16, 2 running INT8 over both sockets" — that
+expands into named :class:`~repro.cluster.node.ReplicaNode` instances.
+Replicas in one fleet may run different
+:class:`~repro.engine.backend.ExecutionBackend` configurations; each
+prices through its own backend-keyed cost table
+(:func:`repro.engine.stepcost.decode_cost_table`), so router cost
+projections, event-horizon fast-forward, and ``exact=True`` stepping all
+see the same per-replica numbers regardless of how the fleet is mixed.
+"""
+
+import dataclasses
+from typing import List, Optional, Sequence, Tuple
+
+from repro.cluster.node import ReplicaNode
+from repro.engine.backend import ExecutionBackend
+from repro.engine.inference import DEFAULT_ENGINE_CONFIG, EngineConfig
+from repro.hardware.platform import Platform
+from repro.models.config import ModelConfig
+from repro.trace.tracer import NOOP_TRACER, Tracer
+from repro.utils.validation import require_positive
+
+
+@dataclasses.dataclass(frozen=True)
+class ReplicaSpec:
+    """One homogeneous replica group within a fleet.
+
+    Attributes:
+        platform: Device the group's replicas run on.
+        model: Served model.
+        count: Replicas in the group.
+        backend: Execution backend (``None`` = plain BF16).
+        max_batch: Per-replica batching limit.
+        config: CPU engine configuration.
+        name: Base name for the group's replicas; defaults to
+            ``<platform>[-<backend label>]``. Replicas are numbered
+            across the whole fleet (``spr-0``, ``spr-int8-tp2-1``, ...),
+            matching the CLI's ``--fail-node`` style addressing.
+    """
+
+    platform: Platform
+    model: ModelConfig
+    count: int = 1
+    backend: Optional[ExecutionBackend] = None
+    max_batch: int = 8
+    config: EngineConfig = DEFAULT_ENGINE_CONFIG
+    name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        require_positive(self.count, "count")
+
+    @property
+    def base_name(self) -> str:
+        if self.name is not None:
+            return self.name
+        key = self.platform.name.split("-")[0].lower()
+        if self.backend is not None:
+            return f"{key}-{self.backend.label}"
+        return key
+
+
+@dataclasses.dataclass(frozen=True)
+class ClusterConfig:
+    """A whole fleet as data: replica groups, possibly mixed-backend."""
+
+    replicas: Tuple[ReplicaSpec, ...]
+
+    def __init__(self, replicas: Sequence[ReplicaSpec]):
+        if not replicas:
+            raise ValueError("ClusterConfig needs at least one ReplicaSpec")
+        object.__setattr__(self, "replicas", tuple(replicas))
+
+    @property
+    def size(self) -> int:
+        """Total replica count across all groups."""
+        return sum(spec.count for spec in self.replicas)
+
+    def build_fleet(self, tracer: Tracer = NOOP_TRACER,
+                    exact: bool = False) -> List[ReplicaNode]:
+        """Instantiate every replica, numbered across the fleet.
+
+        Fleet-wide numbering keeps names unique even when two groups
+        share a base name (e.g. two BF16 SPR groups with different
+        batch limits).
+        """
+        fleet: List[ReplicaNode] = []
+        index = 0
+        for spec in self.replicas:
+            for _ in range(spec.count):
+                fleet.append(ReplicaNode(
+                    f"{spec.base_name}-{index}", spec.platform, spec.model,
+                    spec.max_batch, spec.config, spec.backend,
+                    tracer=tracer, exact=exact))
+                index += 1
+        return fleet

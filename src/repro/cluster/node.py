@@ -40,6 +40,7 @@ import bisect
 import dataclasses
 from typing import List, Optional, Tuple
 
+from repro.engine.backend import ExecutionBackend
 from repro.engine.inference import DEFAULT_ENGINE_CONFIG, EngineConfig
 from repro.hardware.platform import Platform
 from repro.models.config import ModelConfig
@@ -72,6 +73,11 @@ class ReplicaNode:
         model: Served model.
         max_batch: Maximum concurrent sequences.
         config: Engine configuration for CPU platforms.
+        backend: Execution backend for this replica (quantized / TP /
+            ...); ``None`` is plain BF16. Replicas in one fleet may use
+            different backends — each prices through its own
+            backend-keyed cost table, so fast-forward coalescing stays
+            exact per replica.
         simulator: Pre-built cost model; built from the other arguments
             when omitted (the single-node runner passes its own).
         tracer: Span sink for this node's request/replica timeline; the
@@ -88,6 +94,7 @@ class ReplicaNode:
     def __init__(self, name: str, platform: Optional[Platform] = None,
                  model: Optional[ModelConfig] = None, max_batch: int = 8,
                  config: EngineConfig = DEFAULT_ENGINE_CONFIG,
+                 backend: Optional[ExecutionBackend] = None,
                  simulator: Optional[BatchingSimulator] = None,
                  tracer: Tracer = NOOP_TRACER, exact: bool = False,
                  collect_gaps: bool = False):
@@ -95,7 +102,8 @@ class ReplicaNode:
             if platform is None or model is None:
                 raise ValueError("ReplicaNode needs platform+model or a "
                                  "pre-built BatchingSimulator")
-            simulator = BatchingSimulator(platform, model, max_batch, config)
+            simulator = BatchingSimulator(platform, model, max_batch, config,
+                                          backend)
         self.name = name
         self.tracer = tracer
         self.exact = exact

@@ -1,5 +1,17 @@
 """Inference-engine simulator: requests, KV cache, executor, results."""
 
+from repro.engine.backend import (
+    BaselineBackend,
+    ExecutionBackend,
+    PrefixCacheBackend,
+    QuantizedBackend,
+    SpecDecodeBackend,
+    SpecDecodeConfig,
+    TensorParallelBackend,
+    TPConfig,
+    clear_backend_op_caches,
+    parse_backend,
+)
 from repro.engine.executor import OperatorExecutor, OpTiming
 from repro.engine.inference import (
     DEFAULT_ENGINE_CONFIG,
@@ -30,10 +42,20 @@ from repro.engine.results import (
 )
 
 __all__ = [
+    "BaselineBackend",
     "DEFAULT_ENGINE_CONFIG",
     "EVALUATED_BATCH_SIZES",
     "EVALUATED_INPUT_LENGTHS",
     "EngineConfig",
+    "ExecutionBackend",
+    "PrefixCacheBackend",
+    "QuantizedBackend",
+    "SpecDecodeBackend",
+    "SpecDecodeConfig",
+    "TPConfig",
+    "TensorParallelBackend",
+    "clear_backend_op_caches",
+    "parse_backend",
     "InferenceRequest",
     "InferenceResult",
     "InferenceSimulator",

@@ -1,0 +1,617 @@
+"""Execution backends: one abstraction for every engine variant.
+
+Historically each engine variant (weight-only quantization, tensor
+parallelism, speculative decoding, prefix caching) lived in its own
+wrapper simulator that could only run single batch-to-completion
+requests. What actually differs between the variants is small and
+well-defined — and it is exactly what :class:`ExecutionBackend` owns:
+
+* **op-graph construction** — the prefill / decode operator lists,
+  including any rewrite (quantized weight streams, TP sharding,
+  speculative draft+verify cycles, prefix-KV reuse);
+* **compute dtype** — what the GEMM engines execute in (INT8 dispatch
+  for full-INT8 quantization);
+* **footprint accounting** — resident weight/KV/activation bytes, which
+  feed capacity checks and NUMA bandwidth derivation;
+* **post-pricing adjustment** — per-op timing rewrites that ride the
+  roofline result (dequantization overhead on weight GEMMs);
+* **communication** — per-pass constant costs outside the op graph
+  (TP allreduce), charged to wall time but not the compute/memory legs;
+* **signature** — a stable hashable key: two backends with equal
+  signatures price identically, so shared cost tables
+  (:mod:`repro.engine.stepcost`) key on it.
+
+Backends are frozen dataclasses: hashable (so rewritten op graphs are
+memoized per backend instance) and comparable (so equal configurations
+share caches). Every execution layer threads them through — the
+:class:`~repro.engine.executor.OperatorExecutor` closed-form decode
+pricing, :class:`~repro.engine.stepcost.DecodeCostTable`,
+:class:`~repro.engine.inference.InferenceSimulator`, the batching
+policies, :class:`~repro.cluster.node.ReplicaNode` fast-forward, and
+the cluster — which is what lets a fleet mix replicas running different
+backends while routers compare costs from the same backend-keyed
+tables. See ``docs/backends.md``.
+"""
+
+import dataclasses
+import functools
+from typing import Optional, Tuple
+
+from repro.hardware.datatypes import DType, parse_dtype
+from repro.hardware.interconnect import Interconnect, upi_link
+from repro.models.config import ModelConfig
+from repro.models.layers import Op, OpKind
+from repro.models.memory import (
+    inference_footprint_bytes,
+    kv_cache_bytes,
+    peak_activation_bytes,
+    weight_bytes,
+)
+from repro.models.opgraph import _decode_step_ops_cached, _prefill_ops_cached
+from repro.quant.weightonly import (
+    QuantConfig,
+    QuantScheme,
+    quantize_ops,
+    quantized_weight_bytes,
+)
+from repro.utils.validation import require_positive
+
+
+# Rewritten op graphs are memoized per (backend, model, shape) — backends
+# are frozen dataclasses, so equal configurations share entries. Wired
+# into repro.experiments.clear_caches alongside the base opgraph caches.
+
+@functools.lru_cache(maxsize=4096)
+def _cached_prefill_ops(backend: "ExecutionBackend", model: ModelConfig,
+                        batch_size: int, input_len: int) -> Tuple[Op, ...]:
+    return tuple(backend._build_prefill_ops(model, batch_size, input_len))
+
+
+@functools.lru_cache(maxsize=8192)
+def _cached_decode_ops(backend: "ExecutionBackend", model: ModelConfig,
+                       batch_size: int, kv_len: int) -> Tuple[Op, ...]:
+    return tuple(backend._build_decode_ops(model, batch_size, kv_len))
+
+
+def clear_backend_op_caches() -> None:
+    """Drop memoized backend-rewritten operator graphs."""
+    _cached_prefill_ops.cache_clear()
+    _cached_decode_ops.cache_clear()
+
+
+def scale_op(op: Op, factor: float) -> Op:
+    """Scale an op so its priced time is *factor* x the original.
+
+    Multiplies everything the roofline composes linearly — instance
+    count, all byte traffic, extra FLOPs, and kernel launches — while
+    leaving the per-instance GEMM shape (and hence the efficiency
+    lookup) untouched, so ``time(scale_op(op, f)) == f * time(op)`` up
+    to floating-point rounding. Speculative decoding uses this to fold
+    "gamma draft steps + one verify pass per E[tokens] generated" into
+    a single per-token op graph.
+    """
+    return dataclasses.replace(
+        op,
+        instances=op.instances * factor,
+        weight_bytes=op.weight_bytes * factor,
+        activation_bytes=op.activation_bytes * factor,
+        kv_read_bytes=op.kv_read_bytes * factor,
+        kv_write_bytes=op.kv_write_bytes * factor,
+        extra_flops=op.extra_flops * factor,
+        kernel_launches=op.kernel_launches * factor,
+    )
+
+
+def shard_op(op: Op, degree: int) -> Op:
+    """Shard one operator's weights/compute across a TP group of *degree*.
+
+    Weight GEMMs split along the output dimension: each shard does 1/S
+    of the FLOPs and streams 1/S of the weights. Attention shards by
+    heads. Activation traffic for the sharded portion scales likewise;
+    the replicated hidden-state reads are a second-order term folded in
+    with the same factor.
+    """
+    return dataclasses.replace(
+        op,
+        instances=op.instances,
+        m=op.m, n=max(1, op.n // degree) if op.is_gemm else op.n, k=op.k,
+        weight_bytes=op.weight_bytes / degree,
+        activation_bytes=op.activation_bytes / degree,
+        kv_read_bytes=op.kv_read_bytes / degree,
+        kv_write_bytes=op.kv_write_bytes / degree,
+        extra_flops=op.extra_flops / degree,
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class TPConfig:
+    """Tensor-parallel configuration.
+
+    Attributes:
+        degree: Shards (sockets). The SPR server supports 2.
+        allreduce_efficiency: Achieved fraction of UPI bandwidth for the
+            ring-allreduce pattern (latency-bound chunks, bidirectional).
+    """
+
+    degree: int = 2
+    allreduce_efficiency: float = 0.7
+
+    def __post_init__(self) -> None:
+        require_positive(self.degree, "degree")
+        if not 0 < self.allreduce_efficiency <= 1:
+            raise ValueError("allreduce_efficiency must be in (0, 1]")
+
+
+@dataclasses.dataclass(frozen=True)
+class SpecDecodeConfig:
+    """Speculative-decoding parameters.
+
+    Attributes:
+        gamma: Draft tokens proposed per cycle.
+        acceptance_rate: Per-token probability the target accepts a draft
+            token (depends on draft/target agreement; 0.7-0.9 is typical
+            for a well-matched draft).
+    """
+
+    gamma: int = 4
+    acceptance_rate: float = 0.8
+
+    def __post_init__(self) -> None:
+        require_positive(self.gamma, "gamma")
+        if not 0 < self.acceptance_rate < 1:
+            raise ValueError(
+                f"acceptance_rate must be in (0, 1), got {self.acceptance_rate}")
+
+    @property
+    def expected_tokens_per_cycle(self) -> float:
+        """E[accepted tokens + 1 bonus token] per verification cycle."""
+        alpha, gamma = self.acceptance_rate, self.gamma
+        return (1.0 - alpha ** (gamma + 1)) / (1.0 - alpha)
+
+
+class ExecutionBackend:
+    """Base execution backend: plain BF16-style pass-through semantics.
+
+    Subclasses override the ``_build_*`` hooks (memoized through the
+    module caches) plus whichever of dtype/footprint/adjust/comm hooks
+    their technique changes. All subclasses must be frozen dataclasses —
+    hashability is what keys the op-graph memo and, through
+    :attr:`signature`, the shared cost tables.
+    """
+
+    #: Whether :meth:`adjust_timing` is non-identity. The executor skips
+    #: the adjustment call entirely when this is False.
+    adjusts: bool = False
+
+    # -- identification -----------------------------------------------------
+
+    @property
+    def signature(self) -> tuple:
+        """Hashable pricing identity: equal signature => equal timings."""
+        raise NotImplementedError
+
+    @property
+    def label(self) -> str:
+        """Short human-readable tag ("bf16", "int8-tp2", ...)."""
+        raise NotImplementedError
+
+    # -- dtype --------------------------------------------------------------
+
+    @property
+    def compute_dtype(self) -> DType:
+        """Dtype the GEMM engines execute in (selects engine peaks)."""
+        return self.dtype  # type: ignore[attr-defined]
+
+    # -- op-graph construction ----------------------------------------------
+
+    def prefill_ops(self, model: ModelConfig, batch_size: int,
+                    input_len: int) -> Tuple[Op, ...]:
+        """Memoized operator list for one prefill pass."""
+        return _cached_prefill_ops(self, model, batch_size, input_len)
+
+    def decode_ops(self, model: ModelConfig, batch_size: int,
+                   kv_len: int) -> Tuple[Op, ...]:
+        """Memoized operator list for one fused decode iteration."""
+        return _cached_decode_ops(self, model, batch_size, kv_len)
+
+    def _build_prefill_ops(self, model: ModelConfig, batch_size: int,
+                           input_len: int) -> Tuple[Op, ...]:
+        raise NotImplementedError
+
+    def _build_decode_ops(self, model: ModelConfig, batch_size: int,
+                          kv_len: int) -> Tuple[Op, ...]:
+        raise NotImplementedError
+
+    # -- footprint accounting -----------------------------------------------
+
+    def weight_bytes(self, model: ModelConfig) -> float:
+        """Resident model-weight bytes under this backend."""
+        return weight_bytes(model, self.dtype)  # type: ignore[attr-defined]
+
+    def footprint_bytes(self, model: ModelConfig, request) -> float:
+        """Peak resident bytes for *request* (weights + KV + activations)."""
+        dtype = self.dtype  # type: ignore[attr-defined]
+        return inference_footprint_bytes(
+            model, request.max_seq_len, request.batch_size, dtype)
+
+    @property
+    def capacity_scale(self) -> float:
+        """Memory-capacity multiplier (TP spans multiple sockets)."""
+        return 1.0
+
+    # -- pricing hooks ------------------------------------------------------
+
+    def adjust_timing(self, timing):
+        """Post-pricing rewrite of one winning OpTiming (identity here).
+
+        Applied by the executor *after* engine selection, matching the
+        select-uninflated-then-inflate order of the original quantized
+        simulator. Must only touch ``compute_s``/``time_s`` — the
+        memory leg stays the roofline's, so the closed-form decode
+        analysis keeps its affine structure.
+        """
+        return timing
+
+    def prefill_comm_s(self, model: ModelConfig, batch_size: int,
+                       input_len: int) -> float:
+        """Constant per-prefill-pass communication time (seconds)."""
+        return 0.0
+
+    def decode_comm_s(self, model: ModelConfig, batch_size: int) -> float:
+        """Constant per-decode-iteration communication time (seconds)."""
+        return 0.0
+
+
+@dataclasses.dataclass(frozen=True)
+class BaselineBackend(ExecutionBackend):
+    """Plain dense execution at one dtype (the paper's BF16 baseline)."""
+
+    dtype: DType = DType.BF16
+
+    # The base op graphs are already memoized in repro.models.opgraph;
+    # skip the second cache layer entirely.
+    def prefill_ops(self, model: ModelConfig, batch_size: int,
+                    input_len: int) -> Tuple[Op, ...]:
+        return _prefill_ops_cached(model, batch_size, input_len,
+                                   self.dtype, False)
+
+    def decode_ops(self, model: ModelConfig, batch_size: int,
+                   kv_len: int) -> Tuple[Op, ...]:
+        return _decode_step_ops_cached(model, batch_size, kv_len, self.dtype)
+
+    @property
+    def signature(self) -> tuple:
+        return ("baseline", self.dtype)
+
+    @property
+    def label(self) -> str:
+        return self.dtype.label
+
+
+@dataclasses.dataclass(frozen=True)
+class QuantizedBackend(ExecutionBackend):
+    """Weight-only / full-INT8 quantized execution.
+
+    Applies the :func:`~repro.quant.weightonly.quantize_ops` rewrite to
+    the base graphs, prices at the scheme's compute dtype, sizes the
+    footprint with quantized weights and KV, and inflates the compute
+    leg of weight GEMMs by the dequantization overhead (weight-only
+    schemes) after engine selection.
+    """
+
+    quant: QuantConfig = QuantConfig()
+    dtype: DType = DType.BF16  # activation dtype of the base graph
+
+    @property
+    def compute_dtype(self) -> DType:
+        return self.quant.compute_dtype
+
+    @property
+    def adjusts(self) -> bool:  # type: ignore[override]
+        weight_only = self.quant.scheme in (QuantScheme.WEIGHT_ONLY_INT8,
+                                            QuantScheme.WEIGHT_ONLY_INT4)
+        return bool(weight_only and self.quant.dequant_overhead)
+
+    def adjust_timing(self, timing):
+        op = timing.op
+        if op.weight_bytes > 0 and op.is_gemm:
+            # Dequantization rides the GEMM inner loop: inflate the
+            # compute leg of weight GEMMs by the configured fraction.
+            extra = timing.compute_s * self.quant.dequant_overhead
+            return dataclasses.replace(
+                timing,
+                compute_s=timing.compute_s + extra,
+                time_s=max(timing.compute_s + extra,
+                           timing.memory_s) + timing.overhead_s)
+        return timing
+
+    def _build_prefill_ops(self, model: ModelConfig, batch_size: int,
+                           input_len: int) -> Tuple[Op, ...]:
+        base = _prefill_ops_cached(model, batch_size, input_len,
+                                   self.dtype, False)
+        return tuple(quantize_ops(base, self.quant))
+
+    def _build_decode_ops(self, model: ModelConfig, batch_size: int,
+                          kv_len: int) -> Tuple[Op, ...]:
+        base = _decode_step_ops_cached(model, batch_size, kv_len, self.dtype)
+        return tuple(quantize_ops(base, self.quant))
+
+    def weight_bytes(self, model: ModelConfig) -> float:
+        return quantized_weight_bytes(model, self.quant)
+
+    def footprint_bytes(self, model: ModelConfig, request) -> float:
+        return (quantized_weight_bytes(model, self.quant)
+                + kv_cache_bytes(model, request.max_seq_len,
+                                 request.batch_size, self.dtype)
+                * self.quant.kv_bytes_ratio()
+                + peak_activation_bytes(model, request.max_seq_len,
+                                        request.batch_size, self.dtype))
+
+    @property
+    def signature(self) -> tuple:
+        return ("quant", self.quant, self.dtype)
+
+    @property
+    def label(self) -> str:
+        return {
+            QuantScheme.NONE: self.dtype.label,
+            QuantScheme.WEIGHT_ONLY_INT8: "int8",
+            QuantScheme.WEIGHT_ONLY_INT4: "int4",
+            QuantScheme.FULL_INT8: "w8a8",
+        }[self.quant.scheme]
+
+
+@dataclasses.dataclass(frozen=True)
+class TensorParallelBackend(ExecutionBackend):
+    """Tensor-parallel execution across CPU sockets.
+
+    Shards every operator of the *inner* backend's graph (so TP
+    composes with quantization: quantize first, then shard the shrunken
+    weight stream) and charges the ring-allreduce on the hidden state —
+    twice per layer — as per-pass communication time. Bandwidth derives
+    from the full unsharded footprint, matching the original
+    :class:`~repro.parallel.tensor_parallel.TensorParallelSimulator`;
+    capacity scales by the degree (the shards span that many sockets).
+    """
+
+    tp: TPConfig = TPConfig()
+    interconnect: Interconnect = dataclasses.field(default_factory=upi_link)
+    inner: Optional[ExecutionBackend] = None
+    dtype: DType = DType.BF16
+
+    def _resolved_inner(self) -> ExecutionBackend:
+        return self.inner if self.inner is not None \
+            else BaselineBackend(self.dtype)
+
+    @property
+    def compute_dtype(self) -> DType:
+        return self._resolved_inner().compute_dtype
+
+    @property
+    def adjusts(self) -> bool:  # type: ignore[override]
+        return self._resolved_inner().adjusts
+
+    def adjust_timing(self, timing):
+        return self._resolved_inner().adjust_timing(timing)
+
+    def _build_prefill_ops(self, model: ModelConfig, batch_size: int,
+                           input_len: int) -> Tuple[Op, ...]:
+        inner = self._resolved_inner()
+        return tuple(shard_op(op, self.tp.degree)
+                     for op in inner.prefill_ops(model, batch_size,
+                                                 input_len))
+
+    def _build_decode_ops(self, model: ModelConfig, batch_size: int,
+                          kv_len: int) -> Tuple[Op, ...]:
+        inner = self._resolved_inner()
+        return tuple(shard_op(op, self.tp.degree)
+                     for op in inner.decode_ops(model, batch_size, kv_len))
+
+    def weight_bytes(self, model: ModelConfig) -> float:
+        return self._resolved_inner().weight_bytes(model)
+
+    def footprint_bytes(self, model: ModelConfig, request) -> float:
+        return self._resolved_inner().footprint_bytes(model, request)
+
+    @property
+    def capacity_scale(self) -> float:
+        return float(self.tp.degree)
+
+    def allreduce_s(self, model: ModelConfig, rows: int,
+                    dtype_bytes: int = 2) -> float:
+        """Two hidden-state allreduces per layer (ring: 2(S-1)/S volume)."""
+        s = self.tp.degree
+        if s == 1:
+            return 0.0
+        payload = 2 * model.n_layers * rows * model.d_model * dtype_bytes
+        ring_volume = payload * 2 * (s - 1) / s
+        bandwidth = (self.interconnect.effective_bw
+                     * self.tp.allreduce_efficiency)
+        latency = 2 * model.n_layers * self.interconnect.latency_s
+        return ring_volume / bandwidth + latency
+
+    def prefill_comm_s(self, model: ModelConfig, batch_size: int,
+                       input_len: int) -> float:
+        inner = self._resolved_inner().prefill_comm_s(model, batch_size,
+                                                      input_len)
+        return self.allreduce_s(model, batch_size * input_len) + inner
+
+    def decode_comm_s(self, model: ModelConfig, batch_size: int) -> float:
+        inner = self._resolved_inner().decode_comm_s(model, batch_size)
+        return self.allreduce_s(model, batch_size) + inner
+
+    @property
+    def signature(self) -> tuple:
+        return ("tp", self.tp, self.interconnect,
+                self._resolved_inner().signature)
+
+    @property
+    def label(self) -> str:
+        return f"{self._resolved_inner().label}-tp{self.tp.degree}"
+
+
+@dataclasses.dataclass(frozen=True)
+class SpecDecodeBackend(ExecutionBackend):
+    """Speculative decoding folded into a per-token decode graph.
+
+    One speculation cycle is ``gamma`` draft-model decode steps plus one
+    target verification pass (prefill-shaped over ``gamma + 1``
+    positions plus the cached-context KV read) and yields
+    ``E[tokens] = (1 - alpha^(gamma+1)) / (1 - alpha)`` tokens. The
+    decode graph scales both pieces by ``1/E[tokens]`` via
+    :func:`scale_op`, so one "decode iteration" prices to exactly the
+    effective per-token cost — which is what lets a speculative replica
+    run under the unchanged batching/cluster loops. Prefill is the
+    plain target prefill.
+    """
+
+    draft: ModelConfig
+    spec: SpecDecodeConfig = SpecDecodeConfig()
+    dtype: DType = DType.BF16
+
+    def verify_ops(self, model: ModelConfig, batch_size: int,
+                   kv_len: int) -> Tuple[Op, ...]:
+        """Unscaled target verification pass at *kv_len* cached tokens."""
+        ops = list(_prefill_ops_cached(model, batch_size,
+                                       self.spec.gamma + 1, self.dtype,
+                                       False))
+        kv_read = sum(op.kv_read_bytes
+                      for op in _decode_step_ops_cached(model, batch_size,
+                                                        kv_len, self.dtype))
+        # Pure-memory op with zero launches: prices to bytes / bandwidth.
+        ops.append(Op(name="verify_kv_read", kind=OpKind.ELEMENTWISE,
+                      kv_read_bytes=kv_read, kernel_launches=0))
+        return tuple(ops)
+
+    def _build_prefill_ops(self, model: ModelConfig, batch_size: int,
+                           input_len: int) -> Tuple[Op, ...]:
+        return _prefill_ops_cached(model, batch_size, input_len,
+                                   self.dtype, False)
+
+    def _build_decode_ops(self, model: ModelConfig, batch_size: int,
+                          kv_len: int) -> Tuple[Op, ...]:
+        e_tokens = self.spec.expected_tokens_per_cycle
+        draft_scale = self.spec.gamma / e_tokens
+        ops = [dataclasses.replace(scale_op(op, draft_scale),
+                                   name=f"draft/{op.name}")
+               for op in _decode_step_ops_cached(self.draft, batch_size,
+                                                 kv_len, self.dtype)]
+        ops += [dataclasses.replace(scale_op(op, 1.0 / e_tokens),
+                                    name=f"verify/{op.name}")
+                for op in self.verify_ops(model, batch_size, kv_len)]
+        return tuple(ops)
+
+    def weight_bytes(self, model: ModelConfig) -> float:
+        return (weight_bytes(model, self.dtype)
+                + weight_bytes(self.draft, self.dtype))
+
+    def footprint_bytes(self, model: ModelConfig, request) -> float:
+        # Target working set plus the resident draft weights (draft KV
+        # is second-order: the draft shares context length but is tiny).
+        return (inference_footprint_bytes(model, request.max_seq_len,
+                                          request.batch_size, self.dtype)
+                + weight_bytes(self.draft, self.dtype))
+
+    @property
+    def signature(self) -> tuple:
+        return ("specdecode", self.draft, self.spec, self.dtype)
+
+    @property
+    def label(self) -> str:
+        return f"spec-{self.draft.name}-g{self.spec.gamma}"
+
+
+@dataclasses.dataclass(frozen=True)
+class PrefixCacheBackend(ExecutionBackend):
+    """Shared-prefix (system-prompt) caching on the prefill path.
+
+    A prompt of ``input_len`` tokens with the leading ``prefix_len``
+    cached pays prefill over the unique suffix only, plus one read of
+    the cached prefix's K/V per layer (the suffix still attends to it).
+    Decode is unchanged. Prompts no longer than the prefix keep one
+    uncached token so the pass stays well-formed.
+    """
+
+    prefix_len: int = 512
+    dtype: DType = DType.BF16
+
+    def __post_init__(self) -> None:
+        require_positive(self.prefix_len, "prefix_len")
+
+    def _build_prefill_ops(self, model: ModelConfig, batch_size: int,
+                           input_len: int) -> Tuple[Op, ...]:
+        prefix = min(self.prefix_len, input_len - 1)
+        unique = input_len - prefix
+        ops = list(_prefill_ops_cached(model, batch_size, unique,
+                                       self.dtype, False))
+        if prefix > 0:
+            ops.append(Op(
+                name="prefix_kv_read", kind=OpKind.ELEMENTWISE,
+                kv_read_bytes=kv_cache_bytes(model, prefix, batch_size,
+                                             self.dtype),
+                kernel_launches=0))
+        return tuple(ops)
+
+    def _build_decode_ops(self, model: ModelConfig, batch_size: int,
+                          kv_len: int) -> Tuple[Op, ...]:
+        return _decode_step_ops_cached(model, batch_size, kv_len, self.dtype)
+
+    @property
+    def signature(self) -> tuple:
+        return ("prefix", self.prefix_len, self.dtype)
+
+    @property
+    def label(self) -> str:
+        return f"prefix{self.prefix_len}"
+
+
+#: Spec tokens understood by :func:`parse_backend`, for CLI help text.
+BACKEND_SPEC_TOKENS = ("bf16", "fp16", "fp32", "int8", "w8", "int4", "w4",
+                       "w8a8", "tpN")
+
+
+def parse_backend(spec: str,
+                  interconnect: Optional[Interconnect] = None
+                  ) -> ExecutionBackend:
+    """Parse a CLI backend spec like ``bf16``, ``int8``, or ``int8-tp2``.
+
+    Tokens (joined with ``-`` or ``+``): a base — ``bf16`` / ``fp16`` /
+    ``fp32`` (plain dense at that dtype), ``int8``/``w8`` (weight-only
+    INT8), ``int4``/``w4`` (weight-only INT4), ``w8a8`` (full INT8) —
+    and optionally ``tpN`` for tensor parallelism of degree N wrapped
+    around it. ``tp2`` alone means BF16 + TP2.
+    """
+    tokens = [t for t in spec.lower().replace("+", "-").split("-") if t]
+    if not tokens:
+        raise ValueError("empty backend spec")
+    base: Optional[ExecutionBackend] = None
+    tp_degree: Optional[int] = None
+    for token in tokens:
+        if token.startswith("tp") and token[2:].isdigit():
+            if tp_degree is not None:
+                raise ValueError(f"duplicate tp token in {spec!r}")
+            tp_degree = int(token[2:])
+            continue
+        if base is not None:
+            raise ValueError(f"more than one base backend in {spec!r}")
+        if token in ("bf16", "fp16", "fp32"):
+            base = BaselineBackend(parse_dtype(token))
+        elif token in ("int8", "w8"):
+            base = QuantizedBackend(
+                QuantConfig(scheme=QuantScheme.WEIGHT_ONLY_INT8))
+        elif token in ("int4", "w4"):
+            base = QuantizedBackend(
+                QuantConfig(scheme=QuantScheme.WEIGHT_ONLY_INT4))
+        elif token == "w8a8":
+            base = QuantizedBackend(QuantConfig(scheme=QuantScheme.FULL_INT8))
+        else:
+            raise ValueError(
+                f"unknown backend token {token!r} in {spec!r}; expected "
+                f"one of {', '.join(BACKEND_SPEC_TOKENS)}")
+    if base is None:
+        base = BaselineBackend(DType.BF16)
+    if tp_degree is not None:
+        return TensorParallelBackend(tp=TPConfig(degree=tp_degree),
+                                     interconnect=interconnect or upi_link(),
+                                     inner=base)
+    return base

@@ -9,15 +9,13 @@ dimension-dependent GEMM efficiency, and composes the roofline
 import dataclasses
 from typing import Dict, List, Optional
 
+from repro.engine.backend import BaselineBackend, ExecutionBackend
 from repro.gemm.efficiency import _gemm_efficiency_cached
 from repro.hardware.compute import ComputeEngine, EngineKind
 from repro.hardware.datatypes import DType
 from repro.hardware.platform import Platform
 from repro.models.config import ModelConfig
 from repro.models.layers import Op
-# The cached tuple builder is used directly on the pricing hot path (the
-# public wrapper re-validates and copies to a list on every call).
-from repro.models.opgraph import _decode_step_ops_cached, decode_step_ops
 from repro.utils.validation import require_positive
 
 # Non-GEMM (bandwidth-bound) kernels run their arithmetic on vector units
@@ -61,16 +59,29 @@ class OperatorExecutor:
         bandwidth: Effective memory bandwidth in bytes/s (already adjusted
             for NUMA configuration, core count, and stream efficiency).
         compute_scale: Multiplier on engine peaks (core-count scaling).
+        backend: Execution backend supplying decode/prefill op graphs,
+            post-pricing timing adjustments, and per-pass communication.
+            Defaults to the plain :class:`~repro.engine.backend.
+            BaselineBackend` at *dtype*, which reproduces the historical
+            behavior exactly. Callers building an executor for a backend
+            should pass ``dtype=backend.compute_dtype``.
     """
 
     def __init__(self, platform: Platform, dtype: DType, bandwidth: float,
-                 compute_scale: float = 1.0):
+                 compute_scale: float = 1.0,
+                 backend: Optional[ExecutionBackend] = None):
         require_positive(bandwidth, "bandwidth")
         require_positive(compute_scale, "compute_scale")
         self.platform = platform
         self.dtype = dtype
         self.bandwidth = bandwidth
         self.compute_scale = compute_scale
+        self.backend = backend if backend is not None \
+            else BaselineBackend(dtype)
+        # Resolved once: the hot pricing loops skip the adjustment call
+        # entirely for non-adjusting backends.
+        self._adjust = self.backend.adjust_timing if self.backend.adjusts \
+            else None
         self._engines = [e for e in platform.engines if e.supports(dtype)]
         if not self._engines:
             raise ValueError(f"{platform.name} has no engine for {dtype}")
@@ -89,12 +100,13 @@ class OperatorExecutor:
 
         Two executors with equal signatures produce identical timings for
         identical ops: platform names map to fixed engine definitions, and
-        pricing otherwise depends only on dtype, bandwidth, and the
-        compute scale. Cross-instance memo layers (the serving step-cost
-        tables) key on this instead of executor identity.
+        pricing otherwise depends only on dtype, bandwidth, the compute
+        scale, and the backend's op graphs/adjustments (captured by the
+        backend signature). Cross-instance memo layers (the serving
+        step-cost tables) key on this instead of executor identity.
         """
         return (self.platform.name, self.dtype, self.bandwidth,
-                self.compute_scale)
+                self.compute_scale, self.backend.signature)
 
     def _pick_vector_like(self) -> ComputeEngine:
         """Engine used for elementwise arithmetic (lowest-peak available)."""
@@ -104,11 +116,21 @@ class OperatorExecutor:
         return min(self._engines, key=lambda e: e.peak(self.dtype))
 
     def time_op(self, op: Op) -> OpTiming:
-        """Price *op*; GEMM ops try every engine and keep the fastest."""
+        """Price *op*; GEMM ops try every engine and keep the fastest.
+
+        Engine selection races *unadjusted* candidates; the backend's
+        post-pricing adjustment (e.g. dequantization overhead) is applied
+        to the winner — the same select-then-inflate order the original
+        quantized simulator used.
+        """
         memory_s = op.memory_bytes / self.bandwidth if op.memory_bytes else 0.0
         if op.m > 0 and op.n > 0 and op.k > 0:  # op.is_gemm, inlined
-            return self._time_gemm(op, memory_s)
-        return self._time_bandwidth_op(op, memory_s)
+            timing = self._time_gemm(op, memory_s)
+        else:
+            timing = self._time_bandwidth_op(op, memory_s)
+        if self._adjust is not None:
+            timing = self._adjust(timing)
+        return timing
 
     def _gemm_candidates(self, op: Op, memory_s: float) -> List[OpTiming]:
         """One candidate timing per engine, in platform engine order."""
@@ -184,11 +206,62 @@ class OperatorExecutor:
         return [self.time_op(op) for op in ops]
 
     def _candidates(self, op: Op) -> List[OpTiming]:
-        """All engine-candidate timings for *op* (one entry for non-GEMMs)."""
+        """All engine-candidate timings for *op* (one entry for non-GEMMs).
+
+        Candidates are unadjusted; pick winners with :meth:`_best` so the
+        backend adjustment lands after engine selection, matching
+        :meth:`time_op`.
+        """
         memory_s = op.memory_bytes / self.bandwidth if op.memory_bytes else 0.0
         if op.is_gemm:
             return self._gemm_candidates(op, memory_s)
         return [self._time_bandwidth_op(op, memory_s)]
+
+    def _best(self, candidates: List[OpTiming]) -> OpTiming:
+        """Winning candidate with the backend adjustment applied."""
+        best = min(candidates, key=lambda t: t.time_s)
+        if self._adjust is not None:
+            best = self._adjust(best)
+        return best
+
+    def _memory_dominated(self, cand_lo: List[OpTiming],
+                          cand_hi: List[OpTiming]) -> bool:
+        """Whether the roofline max() is memory everywhere in the range.
+
+        Compares each engine's (adjusted) compute leg at the top of the
+        range against its memory leg at the bottom — compute is monotone
+        non-decreasing in kv and memory affine increasing, so this bounds
+        the whole range. Adjustments never touch the memory leg, so using
+        the adjusted compute keeps the check conservative for adjusting
+        backends.
+        """
+        if self._adjust is None:
+            return all(c1.compute_s <= c0.memory_s
+                       for c0, c1 in zip(cand_lo, cand_hi))
+        adjust = self._adjust
+        return all(adjust(c1).compute_s <= c0.memory_s
+                   for c0, c1 in zip(cand_lo, cand_hi))
+
+    # -- prefill pricing -----------------------------------------------------
+
+    def time_prefill_ops(self, model: ModelConfig, batch_size: int,
+                         input_len: int) -> List[OpTiming]:
+        """Price one prefill pass of the backend's op graph.
+
+        Per-op timings only; the backend's per-pass communication
+        (:meth:`prefill_comm_s`) is charged separately to wall time.
+        """
+        ops = self.backend.prefill_ops(model, batch_size, input_len)
+        return [self.time_op(op) for op in ops]
+
+    def prefill_comm_s(self, model: ModelConfig, batch_size: int,
+                       input_len: int) -> float:
+        """Backend communication time for one prefill pass (seconds)."""
+        return self.backend.prefill_comm_s(model, batch_size, input_len)
+
+    def decode_comm_s(self, model: ModelConfig, batch_size: int) -> float:
+        """Backend communication time per decode iteration (seconds)."""
+        return self.backend.decode_comm_s(model, batch_size)
 
     # -- closed-form decode-range pricing ------------------------------------
 
@@ -218,16 +291,15 @@ class OperatorExecutor:
                                      weight_bytes=0.0, activation_bytes=0.0,
                                      kv_read_bytes=0.0, kv_write_bytes=0.0,
                                      op_times={})
-        ops_lo = _decode_step_ops_cached(model, batch_size, kv_start,
-                                         self.dtype)
-        ops_hi = _decode_step_ops_cached(model, batch_size, kv_end - 1,
-                                         self.dtype)
+        backend = self.backend
+        ops_lo = backend.decode_ops(model, batch_size, kv_start)
+        ops_hi = backend.decode_ops(model, batch_size, kv_end - 1)
         # One interior build validates the endpoint-interpolated op
         # reconstruction used by _sum_varying_op (see
         # _affine_op_factory); short ranges go through the dense path.
         kv_mid = kv_start + steps // 2
-        ops_mid = _decode_step_ops_cached(model, batch_size, kv_mid,
-                                          self.dtype) if steps > 8 else None
+        ops_mid = backend.decode_ops(model, batch_size, kv_mid) \
+            if steps > 8 else None
         time_s = compute_s = memory_s = 0.0
         flops = weight_b = act_b = kvr_b = kvw_b = 0.0
         op_times: Dict[str, float] = {}
@@ -253,6 +325,11 @@ class OperatorExecutor:
             compute_s += c_sum
             memory_s += m_sum
             op_times[op_lo.name] = op_times.get(op_lo.name, 0.0) + t_sum
+        comm = backend.decode_comm_s(model, batch_size)
+        if comm:
+            # Per-iteration communication (TP allreduce) is constant in
+            # kv_len; charged to wall time only, like the step loop does.
+            time_s += steps * comm
         return DecodeRangeTiming(
             steps=steps, time_s=time_s, compute_s=compute_s,
             memory_s=memory_s, flops=flops, weight_bytes=weight_b,
@@ -284,8 +361,7 @@ class OperatorExecutor:
                 offset = dims_lo[varying[0]]
 
         def builder_op_at(kv: int) -> Op:
-            return _decode_step_ops_cached(model, batch_size, kv,
-                                           self.dtype)[index]
+            return self.backend.decode_ops(model, batch_size, kv)[index]
 
         # Interior ops are reconstructed from the endpoints when the
         # reconstruction provably matches the builder (checked against the
@@ -365,10 +441,9 @@ class OperatorExecutor:
         # _sum_affine_run still verifies the conclusion.
         cand_lo = self._candidates(op_lo)
         cand_hi = self._candidates(op_hi)
-        if all(c1.compute_s <= c0.memory_s
-               for c0, c1 in zip(cand_lo, cand_hi)):
-            memo.setdefault(kv_start, min(cand_lo, key=lambda t: t.time_s))
-            memo.setdefault(kv_end - 1, min(cand_hi, key=lambda t: t.time_s))
+        if self._memory_dominated(cand_lo, cand_hi):
+            memo.setdefault(kv_start, self._best(cand_lo))
+            memo.setdefault(kv_end - 1, self._best(cand_hi))
             self._sum_affine_run(timing_at, kv_start, kv_end, acc)
             return tuple(acc)
 
@@ -440,8 +515,8 @@ class OperatorExecutor:
         cand_lo = self._candidates(op_at(lo))
         cand_hi = self._candidates(op_at(hi - 1))
         # The endpoint winners double as the affine-run endpoint pricings.
-        memo.setdefault(lo, min(cand_lo, key=lambda t: t.time_s))
-        memo.setdefault(hi - 1, min(cand_hi, key=lambda t: t.time_s))
+        memo.setdefault(lo, self._best(cand_lo))
+        memo.setdefault(hi - 1, self._best(cand_hi))
         lines = []
         for c0, c1 in zip(cand_lo, cand_hi):
             lines.append((c0.compute_s + c0.overhead_s,
@@ -530,13 +605,12 @@ class OperatorExecutor:
         out_t = [0.0] * steps
         out_c = [0.0] * steps
         out_m = [0.0] * steps
-        ops_lo = _decode_step_ops_cached(model, batch_size, kv_start,
-                                         self.dtype)
-        ops_hi = _decode_step_ops_cached(model, batch_size, kv_end - 1,
-                                         self.dtype)
+        backend = self.backend
+        ops_lo = backend.decode_ops(model, batch_size, kv_start)
+        ops_hi = backend.decode_ops(model, batch_size, kv_end - 1)
         kv_mid = kv_start + steps // 2
-        ops_mid = _decode_step_ops_cached(model, batch_size, kv_mid,
-                                          self.dtype) if steps > 8 else None
+        ops_mid = backend.decode_ops(model, batch_size, kv_mid) \
+            if steps > 8 else None
         for index, (op_lo, op_hi) in enumerate(zip(ops_lo, ops_hi)):
             if op_lo == op_hi:
                 # kv_len-independent op: price once, add to every step.
@@ -552,6 +626,11 @@ class OperatorExecutor:
                 model, batch_size, index, op_lo, op_hi, kv_start, kv_end,
                 kv_mid, ops_mid[index] if ops_mid is not None else None,
                 out_t, out_c, out_m)
+        comm = backend.decode_comm_s(model, batch_size)
+        if comm:
+            # Per-iteration communication rides every step's wall time.
+            for i in range(steps):
+                out_t[i] += comm
         return out_t, out_c, out_m
 
     def _series_varying_op(self, model: ModelConfig, batch_size: int,
@@ -574,10 +653,9 @@ class OperatorExecutor:
         # affine lines and the whole range is one affine run.
         cand_lo = self._candidates(op_lo)
         cand_hi = self._candidates(op_hi)
-        if all(c1.compute_s <= c0.memory_s
-               for c0, c1 in zip(cand_lo, cand_hi)):
-            memo.setdefault(kv_start, min(cand_lo, key=lambda t: t.time_s))
-            memo.setdefault(kv_end - 1, min(cand_hi, key=lambda t: t.time_s))
+        if self._memory_dominated(cand_lo, cand_hi):
+            memo.setdefault(kv_start, self._best(cand_lo))
+            memo.setdefault(kv_end - 1, self._best(cand_hi))
             self._series_affine_run(timing_at, kv_start, kv_end, base,
                                     out_t, out_c, out_m)
             return
@@ -598,8 +676,8 @@ class OperatorExecutor:
         span = hi - 1 - lo
         cand_lo = self._candidates(op_at(lo))
         cand_hi = self._candidates(op_at(hi - 1))
-        memo.setdefault(lo, min(cand_lo, key=lambda t: t.time_s))
-        memo.setdefault(hi - 1, min(cand_hi, key=lambda t: t.time_s))
+        memo.setdefault(lo, self._best(cand_lo))
+        memo.setdefault(hi - 1, self._best(cand_hi))
         lines = []
         for c0, c1 in zip(cand_lo, cand_hi):
             lines.append((c0.compute_s + c0.overhead_s,

@@ -10,6 +10,7 @@ with the executor, and reports paper-style metrics.
 import dataclasses
 from typing import Optional
 
+from repro.engine.backend import BaselineBackend, ExecutionBackend
 from repro.engine.executor import OperatorExecutor
 from repro.engine.kvcache import KVCacheManager
 from repro.engine.request import InferenceRequest
@@ -21,8 +22,7 @@ from repro.engine.results import (
 )
 from repro.hardware.platform import Platform
 from repro.models.config import ModelConfig
-from repro.models.memory import inference_footprint_bytes, weight_bytes
-from repro.models.opgraph import decode_step_ops, prefill_ops
+from repro.models.memory import weight_bytes
 from repro.numa.model import NumaCalibration, NumaModel, DEFAULT_NUMA_CALIBRATION
 from repro.numa.modes import NumaConfig, QUAD_FLAT
 from repro.scaling.cores import (
@@ -72,12 +72,17 @@ class InferenceSimulator:
     Args:
         platform: Target platform (CPU or GPU).
         config: Execution configuration (NUMA/cores; ignored for GPUs).
+        backend: Execution backend (quantized / tensor-parallel / ...);
+            ``None`` means plain dense execution at each request's dtype —
+            the historical behavior, bit-for-bit.
     """
 
     def __init__(self, platform: Platform,
-                 config: EngineConfig = DEFAULT_ENGINE_CONFIG):
+                 config: EngineConfig = DEFAULT_ENGINE_CONFIG,
+                 backend: Optional[ExecutionBackend] = None):
         self.platform = platform
         self.config = config
+        self.backend = backend
         if platform.is_cpu:
             topo = platform.topology
             self._cores = config.cores or topo.cores_per_socket
@@ -111,11 +116,17 @@ class InferenceSimulator:
             return capacity
         return self.platform.memory_capacity
 
+    def _backend_for(self, request: InferenceRequest) -> ExecutionBackend:
+        """Configured backend, or the plain baseline at the request dtype."""
+        if self.backend is not None:
+            return self.backend
+        return BaselineBackend(request.dtype)
+
     def fits(self, model: ModelConfig, request: InferenceRequest) -> bool:
         """Whether the request's peak footprint fits this configuration."""
-        footprint = inference_footprint_bytes(
-            model, request.max_seq_len, request.batch_size, request.dtype)
-        return footprint <= self.memory_capacity()
+        backend = self._backend_for(request)
+        footprint = backend.footprint_bytes(model, request)
+        return footprint <= self.memory_capacity() * backend.capacity_scale
 
     # -- bandwidth / compute derivation -------------------------------------
 
@@ -135,13 +146,14 @@ class InferenceSimulator:
 
     def _executor(self, model: ModelConfig, request: InferenceRequest,
                   footprint: Optional[float] = None) -> OperatorExecutor:
+        backend = self._backend_for(request)
         if footprint is None:
-            footprint = inference_footprint_bytes(
-                model, request.max_seq_len, request.batch_size, request.dtype)
+            footprint = backend.footprint_bytes(model, request)
         return OperatorExecutor(
-            self.platform, request.dtype,
+            self.platform, backend.compute_dtype,
             bandwidth=self.effective_bandwidth(footprint),
-            compute_scale=self.compute_scale())
+            compute_scale=self.compute_scale(),
+            backend=backend)
 
     # -- simulation ----------------------------------------------------------
 
@@ -163,25 +175,33 @@ class InferenceSimulator:
         only, where per-step times exist — one ``decode[i]`` span per
         token.
         """
-        footprint = inference_footprint_bytes(
-            model, request.max_seq_len, request.batch_size, request.dtype)
-        if footprint > self.memory_capacity():
+        backend = self._backend_for(request)
+        footprint = backend.footprint_bytes(model, request)
+        capacity = self.memory_capacity() * backend.capacity_scale
+        if footprint > capacity:
             raise MemoryCapacityError(
                 f"{model.name} needs {footprint / 1e9:.1f} GB but "
                 f"{self.platform.name} ({self.config_label}) has "
-                f"{self.memory_capacity() / 1e9:.1f} GB; use the offloading "
+                f"{capacity / 1e9:.1f} GB; use the offloading "
                 f"engine for over-capacity GPU runs")
 
         executor = self._executor(model, request, footprint)
         kv = KVCacheManager(model, capacity_bytes=None, dtype=request.dtype)
         seq_ids = kv.allocate_batch(request.batch_size, request.input_len)
 
-        prefill_timings = executor.time_ops(
-            prefill_ops(model, request.batch_size, request.input_len,
-                        request.dtype))
+        prefill_timings = executor.time_prefill_ops(
+            model, request.batch_size, request.input_len)
         prefill = phase_stats_from_timings("prefill", prefill_timings)
+        prefill_comm = executor.prefill_comm_s(
+            model, request.batch_size, request.input_len)
+        if prefill_comm:
+            # Communication (TP allreduce) is wall time outside the
+            # roofline legs.
+            prefill = dataclasses.replace(
+                prefill, time_s=prefill.time_s + prefill_comm)
 
         steps = request.decode_steps
+        decode_comm = executor.decode_comm_s(model, request.batch_size)
         if steps == 0:
             decode = phase_stats_from_timings("decode", [])
         elif exact:
@@ -190,10 +210,13 @@ class InferenceSimulator:
             for step in range(steps):
                 kv_len = request.input_len + step
                 step_timings = executor.time_ops(
-                    decode_step_ops(model, request.batch_size, kv_len,
-                                    request.dtype))
+                    executor.backend.decode_ops(model, request.batch_size,
+                                                kv_len))
                 step_stats = phase_stats_from_timings(f"decode[{step}]",
                                                       step_timings)
+                if decode_comm:
+                    step_stats = dataclasses.replace(
+                        step_stats, time_s=step_stats.time_s + decode_comm)
                 decode_phases.append(step_stats)
                 if tracer.enabled:
                     tracer.span(ENGINE_TRACK, f"decode[{step}]", step_clock,
@@ -246,7 +269,9 @@ class InferenceSimulator:
 
     def weight_footprint(self, model: ModelConfig,
                          request: InferenceRequest) -> float:
-        """Model weight bytes at the request's dtype (convenience)."""
+        """Resident model weight bytes under the active backend."""
+        if self.backend is not None:
+            return self.backend.weight_bytes(model)
         return weight_bytes(model, request.dtype)
 
 

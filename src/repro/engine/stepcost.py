@@ -32,9 +32,7 @@ import bisect
 from typing import Dict, List, Tuple
 
 from repro.engine.executor import OperatorExecutor
-from repro.hardware.datatypes import DType
 from repro.models.config import ModelConfig
-from repro.models.opgraph import prefill_ops
 
 #: Minimum extension chunk: large enough to amortize the closed-form
 #: series analysis, small enough not to over-price short workloads.
@@ -109,22 +107,32 @@ class DecodeCostTable:
     # -- prefill -----------------------------------------------------------
 
     def prefill_time(self, batch: int, input_len: int) -> float:
-        """Single prefill pass cost (memoized exact pricing)."""
+        """Single prefill pass cost (memoized exact pricing).
+
+        Ops come from the executor's backend (quantized / sharded / plain
+        as configured), plus the backend's per-pass communication.
+        """
         key = (batch, input_len)
         cached = self._prefill.get(key)
         if cached is None:
-            ops = prefill_ops(self.model, batch, input_len, DType.BF16)
-            cached = sum(t.time_s for t in self.executor.time_ops(ops))
+            timings = self.executor.time_prefill_ops(self.model, batch,
+                                                     input_len)
+            cached = sum(t.time_s for t in timings) \
+                + self.executor.prefill_comm_s(self.model, batch, input_len)
             self._prefill[key] = cached
         return cached
 
     def prefill_split(self, batch: int, input_len: int):
-        """Memoized (compute_s, memory_s) legs of one prefill pass."""
+        """Memoized (compute_s, memory_s) legs of one prefill pass.
+
+        Communication is wall time, not a roofline leg, so it does not
+        appear here — matching how the decode curves attribute it.
+        """
         key = (batch, input_len)
         cached = self._prefill_split.get(key)
         if cached is None:
-            ops = prefill_ops(self.model, batch, input_len, DType.BF16)
-            timings = self.executor.time_ops(ops)
+            timings = self.executor.time_prefill_ops(self.model, batch,
+                                                     input_len)
             cached = (sum(t.compute_s for t in timings),
                       sum(t.memory_s for t in timings))
             self._prefill_split[key] = cached

@@ -7,6 +7,7 @@ Importing this package registers every experiment; use
 # Importing the modules populates the registry.
 from repro.experiments import (  # noqa: F401
     ablations,
+    ext_backends,
     ext_cluster,
     ext_disagg_tenancy,
     ext_future,

@@ -86,6 +86,7 @@ def clear_caches() -> None:
     clearing: its keys hash the calibration inputs, so changed constants
     simply miss.
     """
+    from repro.engine.backend import clear_backend_op_caches
     from repro.engine.stepcost import clear_decode_cost_tables
     from repro.gemm.efficiency import clear_gemm_efficiency_cache
     from repro.models.opgraph import clear_opgraph_caches
@@ -94,4 +95,5 @@ def clear_caches() -> None:
     _GPU_ROWS_CACHE.clear()
     clear_gemm_efficiency_cache()
     clear_opgraph_caches()
+    clear_backend_op_caches()
     clear_decode_cost_tables()

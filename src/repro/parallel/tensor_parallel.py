@@ -20,47 +20,32 @@ The model predicts when TP=2 beats one socket: whenever the halved weight
 stream saves more than the UPI allreduce costs — which for decode at
 small batch is essentially always, making TP the fix for KF#3's
 "96 cores are worse" observation.
+
+:class:`TensorParallelSimulator` is a thin adapter over
+:class:`~repro.engine.backend.TensorParallelBackend` (which owns the
+sharding rewrite and the allreduce model, and also composes with
+quantization and the serving/cluster layers); :class:`TPConfig` lives in
+the backend module and is re-exported here unchanged.
 """
 
 import dataclasses
 
-from repro.engine.executor import OperatorExecutor
+# TPConfig moved to the backend layer (re-exported here for the public
+# API); shard_op is the module-level form of the old _shard_op method.
+from repro.engine.backend import TensorParallelBackend, TPConfig, shard_op
 from repro.engine.inference import (
     DEFAULT_ENGINE_CONFIG,
     EngineConfig,
     InferenceSimulator,
 )
 from repro.engine.request import InferenceRequest
-from repro.engine.results import (
-    InferenceResult,
-    merge_phase_stats,
-    phase_stats_from_timings,
-)
+from repro.engine.results import InferenceResult
 from repro.hardware.interconnect import Interconnect, upi_link
 from repro.hardware.platform import Platform
 from repro.models.config import ModelConfig
 from repro.models.layers import Op
-from repro.models.opgraph import decode_step_ops, prefill_ops
-from repro.utils.validation import require_positive
 
-
-@dataclasses.dataclass(frozen=True)
-class TPConfig:
-    """Tensor-parallel configuration.
-
-    Attributes:
-        degree: Shards (sockets). The SPR server supports 2.
-        allreduce_efficiency: Achieved fraction of UPI bandwidth for the
-            ring-allreduce pattern (latency-bound chunks, bidirectional).
-    """
-
-    degree: int = 2
-    allreduce_efficiency: float = 0.7
-
-    def __post_init__(self) -> None:
-        require_positive(self.degree, "degree")
-        if not 0 < self.allreduce_efficiency <= 1:
-            raise ValueError("allreduce_efficiency must be in (0, 1]")
+__all__ = ["TPConfig", "TensorParallelSimulator", "tp_speedup"]
 
 
 class TensorParallelSimulator:
@@ -87,85 +72,32 @@ class TensorParallelSimulator:
         self.tp = tp
         self.config = config
         self.interconnect = interconnect or upi_link()
+        self.backend = TensorParallelBackend(tp=tp,
+                                             interconnect=self.interconnect)
         self._base = InferenceSimulator(platform, config)
 
     def _shard_op(self, op: Op) -> Op:
-        """Shard one operator's weights/compute across the TP group.
-
-        Weight GEMMs split along the output (or input) dimension: each
-        shard does 1/S of the FLOPs and streams 1/S of the weights.
-        Attention shards by heads. Activation traffic for the sharded
-        portion scales likewise; the replicated hidden-state reads are a
-        second-order term folded in with the same factor.
-        """
-        s = self.tp.degree
-        return dataclasses.replace(
-            op,
-            instances=op.instances,
-            m=op.m, n=max(1, op.n // s) if op.is_gemm else op.n, k=op.k,
-            weight_bytes=op.weight_bytes / s,
-            activation_bytes=op.activation_bytes / s,
-            kv_read_bytes=op.kv_read_bytes / s,
-            kv_write_bytes=op.kv_write_bytes / s,
-            extra_flops=op.extra_flops / s,
-        )
+        """Shard one operator across the TP group (see backend.shard_op)."""
+        return shard_op(op, self.tp.degree)
 
     def _allreduce_time(self, model: ModelConfig, rows: int,
                         dtype_bytes: int = 2) -> float:
         """Two hidden-state allreduces per layer (ring: 2(S-1)/S volume)."""
-        s = self.tp.degree
-        if s == 1:
-            return 0.0
-        payload = 2 * model.n_layers * rows * model.d_model * dtype_bytes
-        ring_volume = payload * 2 * (s - 1) / s
-        bandwidth = (self.interconnect.effective_bw
-                     * self.tp.allreduce_efficiency)
-        latency = 2 * model.n_layers * self.interconnect.latency_s
-        return ring_volume / bandwidth + latency
-
-    def _pass_time(self, executor: OperatorExecutor, ops, model: ModelConfig,
-                   rows: int):
-        sharded = [self._shard_op(op) for op in ops]
-        timings = executor.time_ops(sharded)
-        comm = self._allreduce_time(model, rows)
-        return timings, comm
+        return self.backend.allreduce_s(model, rows, dtype_bytes)
 
     def run(self, model: ModelConfig,
             request: InferenceRequest = InferenceRequest()) -> InferenceResult:
         """Simulate the TP request; phase times include allreduce costs."""
-        executor = self._base._executor(model, request)
-
-        prefill_timings, prefill_comm = self._pass_time(
-            executor,
-            prefill_ops(model, request.batch_size, request.input_len,
-                        request.dtype),
-            model, request.batch_size * request.input_len)
-        prefill = phase_stats_from_timings("prefill", prefill_timings)
-        prefill = dataclasses.replace(
-            prefill, time_s=prefill.time_s + prefill_comm)
-
-        decode_phases = []
-        for step in range(request.decode_steps):
-            timings, comm = self._pass_time(
-                executor,
-                decode_step_ops(model, request.batch_size,
-                                request.input_len + step, request.dtype),
-                model, request.batch_size)
-            stats = phase_stats_from_timings(f"decode[{step}]", timings)
-            decode_phases.append(
-                dataclasses.replace(stats, time_s=stats.time_s + comm))
-        decode = (merge_phase_stats("decode", decode_phases)
-                  if decode_phases
-                  else phase_stats_from_timings("decode", []))
-
-        return InferenceResult(
-            model_name=model.name,
-            platform_name=self.platform.name,
-            request=request,
-            prefill=prefill,
-            decode=decode,
-            config_label=f"tp{self.tp.degree}/{self._base.config_label}",
-        )
+        backend = TensorParallelBackend(tp=self.tp,
+                                        interconnect=self.interconnect,
+                                        dtype=request.dtype)
+        simulator = InferenceSimulator(self.platform, self.config, backend)
+        # exact=True keeps the per-step decode loop this simulator always
+        # used, so results are bit-identical to the pre-backend revision.
+        result = simulator.run(model, request, exact=True)
+        return dataclasses.replace(
+            result,
+            config_label=f"tp{self.tp.degree}/{self._base.config_label}")
 
 
 def tp_speedup(platform: Platform, model: ModelConfig,

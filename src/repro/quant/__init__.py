@@ -1,6 +1,5 @@
 """Weight-only / INT8 quantization extension (paper Section VII-B)."""
 
-from repro.quant.engine import QuantizedInferenceSimulator
 from repro.quant.weightonly import (
     QuantConfig,
     QuantScheme,
@@ -19,3 +18,13 @@ __all__ = [
     "quantize_ops",
     "quantized_weight_bytes",
 ]
+
+
+def __getattr__(name):
+    # Imported lazily: quant.engine depends on the engine package, which
+    # itself imports repro.quant.weightonly (via the backend layer) while
+    # initializing — an eager import here would be circular.
+    if name == "QuantizedInferenceSimulator":
+        from repro.quant.engine import QuantizedInferenceSimulator
+        return QuantizedInferenceSimulator
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,14 +1,18 @@
 """Quantized-inference simulation on top of the base engine.
 
-:class:`QuantizedInferenceSimulator` reuses the whole in-memory pipeline
-(operator graphs, NUMA/core configuration, executor) and applies the
-quantization rewrite to each pass's operators before pricing. Compute is
-priced at the scheme's compute dtype — on SPR, FULL_INT8 dispatches to
-AMX's INT8 tiles at twice the BF16 peak.
+:class:`QuantizedInferenceSimulator` is a thin adapter over the unified
+backend layer: it builds a
+:class:`~repro.engine.backend.QuantizedBackend` and delegates to the
+base :class:`~repro.engine.inference.InferenceSimulator`, which owns the
+quantization rewrite, dtype dispatch (on SPR, FULL_INT8 reaches AMX's
+INT8 tiles at twice the BF16 peak), footprint accounting, and the
+dequantization-overhead adjustment. The same backend drops into the
+batching policies and the cluster unchanged.
 """
 
 import dataclasses
 
+from repro.engine.backend import QuantizedBackend
 from repro.engine.executor import OperatorExecutor
 from repro.engine.inference import (
     DEFAULT_ENGINE_CONFIG,
@@ -17,24 +21,10 @@ from repro.engine.inference import (
     MemoryCapacityError,
 )
 from repro.engine.request import InferenceRequest
-from repro.engine.results import (
-    InferenceResult,
-    merge_phase_stats,
-    phase_stats_from_timings,
-)
+from repro.engine.results import InferenceResult
 from repro.hardware.platform import Platform
 from repro.models.config import ModelConfig
-from repro.models.memory import (
-    kv_cache_bytes,
-    peak_activation_bytes,
-)
-from repro.models.opgraph import decode_step_ops, prefill_ops
-from repro.quant.weightonly import (
-    QuantConfig,
-    QuantScheme,
-    quantize_ops,
-    quantized_weight_bytes,
-)
+from repro.quant.weightonly import QuantConfig
 
 
 class QuantizedInferenceSimulator:
@@ -54,14 +44,13 @@ class QuantizedInferenceSimulator:
         self.config = config
         self._base = InferenceSimulator(platform, config)
 
+    def backend(self, request: InferenceRequest) -> QuantizedBackend:
+        """The execution backend this simulator prices with."""
+        return QuantizedBackend(quant=self.quant, dtype=request.dtype)
+
     def footprint(self, model: ModelConfig, request: InferenceRequest) -> float:
         """Resident bytes under quantization (weights and KV both scale)."""
-        return (quantized_weight_bytes(model, self.quant)
-                + kv_cache_bytes(model, request.max_seq_len,
-                                 request.batch_size, request.dtype)
-                * self.quant.kv_bytes_ratio()
-                + peak_activation_bytes(model, request.max_seq_len,
-                                        request.batch_size, request.dtype))
+        return self.backend(request).footprint_bytes(model, request)
 
     def fits(self, model: ModelConfig, request: InferenceRequest) -> bool:
         """Whether the quantized footprint fits this configuration."""
@@ -69,33 +58,13 @@ class QuantizedInferenceSimulator:
 
     def _executor(self, model: ModelConfig,
                   request: InferenceRequest) -> OperatorExecutor:
-        bandwidth = self._base.effective_bandwidth(
-            self.footprint(model, request))
+        backend = self.backend(request)
         return OperatorExecutor(
-            self.platform, self.quant.compute_dtype,
-            bandwidth=bandwidth,
-            compute_scale=self._base.compute_scale())
-
-    def _price_pass(self, executor: OperatorExecutor, ops):
-        ops = quantize_ops(ops, self.quant)
-        timings = executor.time_ops(ops)
-        weight_only = self.quant.scheme in (QuantScheme.WEIGHT_ONLY_INT8,
-                                            QuantScheme.WEIGHT_ONLY_INT4)
-        if weight_only and self.quant.dequant_overhead:
-            # Dequantization rides the GEMM inner loop: inflate the compute
-            # leg of weight GEMMs by the configured fraction.
-            inflated = []
-            for timing in timings:
-                if timing.op.weight_bytes > 0 and timing.op.is_gemm:
-                    extra = timing.compute_s * self.quant.dequant_overhead
-                    timing = dataclasses.replace(
-                        timing,
-                        compute_s=timing.compute_s + extra,
-                        time_s=max(timing.compute_s + extra,
-                                   timing.memory_s) + timing.overhead_s)
-                inflated.append(timing)
-            timings = inflated
-        return timings
+            self.platform, backend.compute_dtype,
+            bandwidth=self._base.effective_bandwidth(
+                backend.footprint_bytes(model, request)),
+            compute_scale=self._base.compute_scale(),
+            backend=backend)
 
     def run(self, model: ModelConfig,
             request: InferenceRequest = InferenceRequest()) -> InferenceResult:
@@ -106,29 +75,10 @@ class QuantizedInferenceSimulator:
                 f"{self.footprint(model, request) / 1e9:.1f} GB but "
                 f"{self.platform.name} has "
                 f"{self._base.memory_capacity() / 1e9:.1f} GB")
-        executor = self._executor(model, request)
-
-        prefill_timings = self._price_pass(
-            executor, prefill_ops(model, request.batch_size,
-                                  request.input_len, request.dtype))
-        prefill = phase_stats_from_timings("prefill", prefill_timings)
-
-        decode_phases = []
-        for step in range(request.decode_steps):
-            timings = self._price_pass(
-                executor, decode_step_ops(model, request.batch_size,
-                                          request.input_len + step,
-                                          request.dtype))
-            decode_phases.append(
-                phase_stats_from_timings(f"decode[{step}]", timings))
-        decode = (merge_phase_stats("decode", decode_phases)
-                  if decode_phases else phase_stats_from_timings("decode", []))
-
-        return InferenceResult(
-            model_name=f"{model.name}+{self.quant.scheme.value}",
-            platform_name=self.platform.name,
-            request=request,
-            prefill=prefill,
-            decode=decode,
-            config_label=self._base.config_label,
-        )
+        simulator = InferenceSimulator(self.platform, self.config,
+                                       self.backend(request))
+        # exact=True keeps the per-step decode loop this simulator always
+        # used, so results are bit-identical to the pre-backend revision.
+        result = simulator.run(model, request, exact=True)
+        return dataclasses.replace(
+            result, model_name=f"{model.name}+{self.quant.scheme.value}")

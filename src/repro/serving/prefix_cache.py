@@ -12,10 +12,16 @@ prompt tokens pays
 * full prefill over ``prefix_len + unique_len`` on a cache miss,
 * prefill over ``unique_len`` only on a hit (the private tokens still
   attend to the cached prefix — a KV read, charged explicitly).
+
+:class:`PrefixCacheModel` is a thin adapter over
+:class:`~repro.engine.backend.PrefixCacheBackend`, which owns the
+warm-prefill op graph (unique-suffix pass + cached-prefix KV read) and
+also drops into the serving/cluster layers directly.
 """
 
 import dataclasses
 
+from repro.engine.backend import PrefixCacheBackend
 from repro.engine.executor import OperatorExecutor
 from repro.engine.inference import (
     DEFAULT_ENGINE_CONFIG,
@@ -26,7 +32,6 @@ from repro.engine.request import InferenceRequest
 from repro.hardware.platform import Platform
 from repro.models.config import ModelConfig
 from repro.models.memory import kv_cache_bytes
-from repro.models.opgraph import prefill_ops
 from repro.utils.validation import require_non_negative, require_positive
 
 
@@ -83,15 +88,16 @@ class PrefixCacheModel:
         request = InferenceRequest(batch_size=batch_size, input_len=total)
         executor = self._executor(model, request)
 
-        cold_ops = prefill_ops(model, batch_size, total)
-        cold = sum(t.time_s for t in executor.time_ops(cold_ops))
+        cold = sum(t.time_s for t in executor.time_prefill_ops(
+            model, batch_size, total))
 
-        warm_ops = prefill_ops(model, batch_size, unique_len)
+        # The backend's warm graph is the unique-suffix prefill plus the
+        # cached-prefix KV read (the unique tokens still attend to the
+        # cached prefix: read its K and V once per layer).
+        backend = PrefixCacheBackend(prefix_len=prefix_len)
+        warm_ops = backend.prefill_ops(model, batch_size, total)
         warm = sum(t.time_s for t in executor.time_ops(warm_ops))
-        # The unique tokens attend to the cached prefix: read its K and V
-        # once per layer.
         prefix_kv = kv_cache_bytes(model, prefix_len, batch_size)
-        warm += prefix_kv / executor.bandwidth
 
         return PrefixCacheEstimate(
             cold_ttft_s=cold,
@@ -113,6 +119,6 @@ class PrefixCacheModel:
             return float("inf")
         request = InferenceRequest(input_len=prefix_len)
         executor = self._executor(model, request)
-        prefix_cost = sum(t.time_s for t in executor.time_ops(
-            prefill_ops(model, 1, prefix_len)))
+        prefix_cost = sum(t.time_s for t in executor.time_prefill_ops(
+            model, 1, prefix_len))
         return prefix_cost / saving

@@ -20,14 +20,13 @@ Both use the same cost model, so differences are purely scheduling.
 import dataclasses
 from typing import Dict, List, Optional, Sequence
 
+from repro.engine.backend import ExecutionBackend
 from repro.engine.executor import OperatorExecutor
 from repro.engine.inference import DEFAULT_ENGINE_CONFIG, EngineConfig, InferenceSimulator
 from repro.engine.stepcost import DecodeCostTable, decode_cost_table
 from repro.engine.request import InferenceRequest
-from repro.hardware.datatypes import DType
 from repro.hardware.platform import Platform
 from repro.models.config import ModelConfig
-from repro.models.opgraph import decode_step_ops, prefill_ops
 from repro.serving.arrivals import ArrivingRequest
 from repro.trace.spans import replica_track, request_track
 from repro.trace.tracer import NOOP_TRACER, Tracer
@@ -161,18 +160,22 @@ class BatchingSimulator:
         model: Served model.
         max_batch: Maximum concurrent sequences.
         config: Engine configuration for CPU platforms.
+        backend: Execution backend (quantized / TP / ...); ``None`` is
+            plain BF16 dense execution, the historical behavior.
     """
 
     def __init__(self, platform: Platform, model: ModelConfig,
                  max_batch: int = 8,
-                 config: EngineConfig = DEFAULT_ENGINE_CONFIG):
+                 config: EngineConfig = DEFAULT_ENGINE_CONFIG,
+                 backend: Optional[ExecutionBackend] = None):
         require_positive(max_batch, "max_batch")
         self.platform = platform
         self.model = model
         self.max_batch = max_batch
+        self.backend = backend
         sizing = InferenceRequest(batch_size=max_batch, input_len=512,
                                   output_len=64)
-        simulator = InferenceSimulator(platform, config)
+        simulator = InferenceSimulator(platform, config, backend)
         if not simulator.fits(self.model, sizing):
             # The serving simulator models in-memory execution only;
             # over-capacity GPU serving must go through the offloading
@@ -196,29 +199,36 @@ class BatchingSimulator:
         return decode_cost_table(self._executor, self.model)
 
     # -- cost primitives ----------------------------------------------------
+    # Op graphs come from the executor's backend (plain BF16 when no
+    # backend is configured), so every policy below prices quantized /
+    # sharded variants identically to the single-request path. Per-pass
+    # communication (TP allreduce) is wall time, not a roofline leg.
 
     def _prefill_time(self, batch_size: int, input_len: int) -> float:
-        ops = prefill_ops(self.model, batch_size, input_len, DType.BF16)
-        return sum(t.time_s for t in self._executor.time_ops(ops))
+        timings = self._executor.time_prefill_ops(self.model, batch_size,
+                                                  input_len)
+        return sum(t.time_s for t in timings) \
+            + self._executor.prefill_comm_s(self.model, batch_size, input_len)
 
     def _decode_iteration_time(self, batch_size: int, kv_len: int) -> float:
-        ops = decode_step_ops(self.model, batch_size, max(1, kv_len),
-                              DType.BF16)
-        return sum(t.time_s for t in self._executor.time_ops(ops))
+        ops = self._executor.backend.decode_ops(self.model, batch_size,
+                                                max(1, kv_len))
+        return sum(t.time_s for t in self._executor.time_ops(ops)) \
+            + self._executor.decode_comm_s(self.model, batch_size)
 
     # Attribution variants: compute/memory leg seconds for trace spans.
     # Only called while a recording tracer is attached, so the default
     # path never pays the second pricing pass.
 
     def _prefill_split(self, batch_size: int, input_len: int):
-        ops = prefill_ops(self.model, batch_size, input_len, DType.BF16)
-        timings = self._executor.time_ops(ops)
+        timings = self._executor.time_prefill_ops(self.model, batch_size,
+                                                  input_len)
         return (sum(t.compute_s for t in timings),
                 sum(t.memory_s for t in timings))
 
     def _decode_split(self, batch_size: int, kv_len: int):
-        ops = decode_step_ops(self.model, batch_size, max(1, kv_len),
-                              DType.BF16)
+        ops = self._executor.backend.decode_ops(self.model, batch_size,
+                                                max(1, kv_len))
         timings = self._executor.time_ops(ops)
         return (sum(t.compute_s for t in timings),
                 sum(t.memory_s for t in timings))

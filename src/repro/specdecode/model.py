@@ -14,10 +14,20 @@ Cycle time = gamma draft decode steps + one target verification pass
 (a prefill-shaped pass over gamma+1 positions). Effective TPOT divides
 cycle time by expected tokens. On a memory-bound platform this is nearly
 free throughput — exactly why the technique matters for CPU inference.
+
+:class:`SpeculativeDecoder` is a thin adapter over
+:class:`~repro.engine.backend.SpecDecodeBackend`, which owns the cycle's
+op-graph construction (draft steps + verification pass, folded into a
+per-token decode graph for the serving/cluster layers);
+:class:`SpecDecodeConfig` lives in the backend module and is re-exported
+here unchanged.
 """
 
 import dataclasses
 
+# SpecDecodeConfig moved to the backend layer (re-exported here for the
+# public API).
+from repro.engine.backend import SpecDecodeBackend, SpecDecodeConfig
 from repro.engine.executor import OperatorExecutor
 from repro.engine.inference import (
     DEFAULT_ENGINE_CONFIG,
@@ -27,35 +37,8 @@ from repro.engine.inference import (
 from repro.engine.request import InferenceRequest
 from repro.hardware.platform import Platform
 from repro.models.config import ModelConfig
-from repro.models.opgraph import decode_step_ops, prefill_ops
-from repro.utils.validation import require_positive
 
-
-@dataclasses.dataclass(frozen=True)
-class SpecDecodeConfig:
-    """Speculative-decoding parameters.
-
-    Attributes:
-        gamma: Draft tokens proposed per cycle.
-        acceptance_rate: Per-token probability the target accepts a draft
-            token (depends on draft/target agreement; 0.7-0.9 is typical
-            for a well-matched draft).
-    """
-
-    gamma: int = 4
-    acceptance_rate: float = 0.8
-
-    def __post_init__(self) -> None:
-        require_positive(self.gamma, "gamma")
-        if not 0 < self.acceptance_rate < 1:
-            raise ValueError(
-                f"acceptance_rate must be in (0, 1), got {self.acceptance_rate}")
-
-    @property
-    def expected_tokens_per_cycle(self) -> float:
-        """E[accepted tokens + 1 bonus token] per verification cycle."""
-        alpha, gamma = self.acceptance_rate, self.gamma
-        return (1.0 - alpha ** (gamma + 1)) / (1.0 - alpha)
+__all__ = ["SpecDecodeConfig", "SpecDecodeEstimate", "SpeculativeDecoder"]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -116,33 +99,43 @@ class SpeculativeDecoder:
                   request: InferenceRequest) -> OperatorExecutor:
         return self._simulator._executor(model, request)
 
+    def backend(self, request: InferenceRequest) -> SpecDecodeBackend:
+        """The folded per-token execution backend for this configuration."""
+        return SpecDecodeBackend(draft=self.draft, spec=self.config,
+                                 dtype=request.dtype)
+
     def estimate(self, request: InferenceRequest = InferenceRequest()
                  ) -> SpecDecodeEstimate:
-        """Project speculative TPOT for *request* (kv at mid-generation)."""
+        """Project speculative TPOT for *request* (kv at mid-generation).
+
+        Draft steps and the verification pass price on *separate*
+        executors (the draft's working set is far smaller, so its
+        bandwidth derivation differs) — which is why this adapter prices
+        the backend's unscaled components itself rather than delegating
+        a folded decode graph to one simulator.
+        """
         kv_len = request.input_len + request.decode_steps // 2
         batch = request.batch_size
 
         target_executor = self._executor(self.target, request)
         draft_executor = self._executor(self.draft, request)
+        backend = self.backend(request)
 
-        baseline_ops = decode_step_ops(self.target, batch, kv_len)
+        baseline_ops = target_executor.backend.decode_ops(
+            self.target, batch, kv_len)
         baseline = sum(t.time_s
                        for t in target_executor.time_ops(baseline_ops))
 
-        draft_ops = decode_step_ops(self.draft, batch, kv_len)
+        draft_ops = draft_executor.backend.decode_ops(
+            self.draft, batch, kv_len)
         draft_step = sum(t.time_s for t in draft_executor.time_ops(draft_ops))
 
-        # Verification: one target pass over gamma+1 positions per sequence
-        # (prefill-shaped with a short query length; KV reads included via
-        # the decode-style cache read are approximated by the prefill ops
-        # plus an explicit cache-read charge).
-        verify_ops = prefill_ops(self.target, batch, self.config.gamma + 1)
-        verify = sum(t.time_s for t in target_executor.time_ops(verify_ops))
-        # Add the cached-context read the verification attention performs.
-        kv_read_ops = [op for op in decode_step_ops(self.target, batch, kv_len)
-                       if op.kv_read_bytes > 0]
-        kv_read_bytes = sum(op.kv_read_bytes for op in kv_read_ops)
-        verify += kv_read_bytes / target_executor.bandwidth
+        # Verification: one target pass over gamma+1 positions per
+        # sequence plus the cached-context KV read (the backend appends
+        # it as a pure-memory op, so it prices to exactly
+        # bytes / bandwidth).
+        verify = sum(t.time_s for t in target_executor.time_ops(
+            backend.verify_ops(self.target, batch, kv_len)))
 
         cycle = self.config.gamma * draft_step + verify
         return SpecDecodeEstimate(

@@ -24,7 +24,7 @@ EXPECTED_IDS = {
     "ext_paged_kv", "ext_specdecode", "ext_tp", "ext_chunked",
     "ext_pp_vs_tp", "ext_slo", "ext_disagg", "ext_tenancy",
     "ext_longcontext", "ablation_fused_attention", "ext_prefix_cache",
-    "ext_quant_matrix", "ext_moe", "ext_batch_knee", "whatif_future_cpu", "ext_provisioning", "ext_cluster", "ext_trace",
+    "ext_quant_matrix", "ext_moe", "ext_batch_knee", "whatif_future_cpu", "ext_provisioning", "ext_cluster", "ext_trace", "ext_backends",
     "calibration", "sensitivity", "advisor",
 }
 

@@ -32,6 +32,7 @@ import time
 import timeit
 from types import SimpleNamespace
 
+import repro.engine.backend as _backend_mod
 import repro.engine.executor as _executor_mod
 import repro.gemm.efficiency as _efficiency_mod
 import repro.models.opgraph as _opgraph_mod
@@ -114,7 +115,9 @@ def pre_pr_baseline():
         (_opgraph_mod, "_prefill_ops_cached"),
         (_efficiency_mod, "_gemm_efficiency_cached"),
         (_executor_mod, "_gemm_efficiency_cached"),
-        (_executor_mod, "_decode_step_ops_cached"),
+        # The baseline backend sources its op graphs through these names.
+        (_backend_mod, "_decode_step_ops_cached"),
+        (_backend_mod, "_prefill_ops_cached"),
     ]
     saved = [(mod, name, getattr(mod, name)) for mod, name in patched]
     executor_cls = _executor_mod.OperatorExecutor
@@ -256,22 +259,43 @@ CLUSTER_RATE_PER_S = 2.0  # saturates the 3-replica SPR fleet
 CLUSTER_SEED = 7
 
 
-def _cluster_run(count: int, exact: bool):
+def _cluster_run(count: int, exact: bool, mixed: bool = False):
     """One cold cluster run; returns (wall seconds, ClusterReport)."""
-    from repro.cluster import ClusterSimulator, ReplicaNode, RoundRobinRouter
+    from repro.cluster import ClusterSimulator, RoundRobinRouter
     from repro.workloads.streams import stream_workload
 
     clear_caches()
-    model = get_model("llama2-7b")
-    nodes = [ReplicaNode(f"spr-{i}", get_platform("spr"), model,
-                         max_batch=CLUSTER_MAX_BATCH)
-             for i in range(CLUSTER_REPLICAS)]
-    simulator = ClusterSimulator(nodes, RoundRobinRouter(), exact=exact)
+    simulator = ClusterSimulator(
+        _mixed_fleet() if mixed else _plain_fleet(),
+        RoundRobinRouter(), exact=exact)
     arrivals = stream_workload(CLUSTER_SPEC, CLUSTER_RATE_PER_S,
                                count=count, seed=CLUSTER_SEED)
     begin = time.perf_counter()
     report = simulator.run(arrivals)
     return time.perf_counter() - begin, report
+
+
+def _plain_fleet():
+    from repro.cluster import ReplicaNode
+
+    model = get_model("llama2-7b")
+    return [ReplicaNode(f"spr-{i}", get_platform("spr"), model,
+                        max_batch=CLUSTER_MAX_BATCH)
+            for i in range(CLUSTER_REPLICAS)]
+
+
+def _mixed_fleet():
+    """2x BF16 + 2x INT8-over-TP2 SPR replicas (heterogeneous backends)."""
+    from repro.cluster import ClusterConfig, ReplicaSpec
+    from repro.engine.backend import parse_backend
+
+    model = get_model("llama2-7b")
+    spr = get_platform("spr")
+    return ClusterConfig([
+        ReplicaSpec(spr, model, count=2, max_batch=CLUSTER_MAX_BATCH),
+        ReplicaSpec(spr, model, count=2, max_batch=CLUSTER_MAX_BATCH,
+                    backend=parse_backend("int8-tp2")),
+    ]).build_fleet()
 
 
 def _cluster_rel_err(exact_report, fast_report) -> float:
@@ -328,6 +352,37 @@ def bench_cluster(quick: bool, repeat: int) -> dict:
     }
 
 
+def bench_cluster_mixed(quick: bool, repeat: int) -> dict:
+    """Time the heterogeneous fleet: 2x BF16 + 2x INT8-TP2 replicas.
+
+    Exercises per-backend cost tables under fast-forward: each replica's
+    coalesced decode windows must price through its own backend's
+    tables, and the exact reference must agree bit-for-bit on the
+    integer trajectory.
+    """
+    count = 500 if quick else 20_000
+    fast_s = None
+    fast_report = None
+    for _ in range(repeat):
+        elapsed, report = _cluster_run(count, exact=False, mixed=True)
+        if fast_s is None or elapsed < fast_s:
+            fast_s, fast_report = elapsed, report
+    exact_s, exact_report = _cluster_run(count, exact=True, mixed=True)
+    return {
+        "requests": count,
+        "fleet": "2x bf16 + 2x int8-tp2 (SPR)",
+        "max_batch": CLUSTER_MAX_BATCH,
+        "rate_per_s": CLUSTER_RATE_PER_S,
+        "iterations": sum(s.iterations for s in fast_report.node_stats),
+        "sim_makespan_s": fast_report.makespan_s,
+        "exact_s": exact_s,
+        "fast_s": fast_s,
+        "speedup": exact_s / fast_s,
+        "requests_per_s": count / fast_s,
+        "max_rel_err": _cluster_rel_err(exact_report, fast_report),
+    }
+
+
 def _print_cluster(cluster: dict) -> None:
     print(f"cluster ({cluster['requests']:,} requests, "
           f"{cluster['replicas']} replicas): "
@@ -336,6 +391,16 @@ def _print_cluster(cluster: dict) -> None:
           f"({cluster['speedup']:.1f}x, "
           f"{cluster['requests_per_s']:,.0f} req/s), "
           f"max rel err {cluster['max_rel_err']:.2e}")
+
+
+def _print_cluster_mixed(mixed: dict) -> None:
+    print(f"mixed fleet ({mixed['requests']:,} requests, "
+          f"{mixed['fleet']}): "
+          f"exact {mixed['exact_s']:.1f}s, "
+          f"fast {mixed['fast_s']:.2f}s "
+          f"({mixed['speedup']:.1f}x, "
+          f"{mixed['requests_per_s']:,.0f} req/s), "
+          f"max rel err {mixed['max_rel_err']:.2e}")
 
 
 def main(argv=None) -> int:
@@ -358,6 +423,8 @@ def main(argv=None) -> int:
             "benchmark": "cluster event-horizon fast-forward",
             "quick": args.quick,
             "cluster": bench_cluster(args.quick, min(args.repeat, 3)),
+            "cluster_mixed": bench_cluster_mixed(args.quick,
+                                                 min(args.repeat, 3)),
         }
     else:
         report = {
@@ -372,6 +439,7 @@ def main(argv=None) -> int:
 
     if args.suite == "cluster":
         _print_cluster(report["cluster"])
+        _print_cluster_mixed(report["cluster_mixed"])
     else:
         sweep = report["fig8_sweep"]
         micro = report["decode_micro"]
