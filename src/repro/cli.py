@@ -139,7 +139,13 @@ def _build_backends(args: argparse.Namespace, replicas: int) -> list:
     return [parse_backend(item) for item in specs]
 
 
-def _build_router(args: argparse.Namespace, slo):
+def _router_factory(args: argparse.Namespace, slo):
+    """Zero-arg factory for the ``--router`` policy.
+
+    A factory rather than an instance so the sharded path can build one
+    independent policy per replica group (``ShardRouter`` wraps the
+    chosen policy as its per-group local).
+    """
     from repro.cluster import (
         JoinShortestQueueRouter,
         LeastOutstandingTokensRouter,
@@ -152,7 +158,11 @@ def _build_router(args: argparse.Namespace, slo):
         "jsq": lambda: JoinShortestQueueRouter(),
         "least_tokens": lambda: LeastOutstandingTokensRouter(),
         "phase_aware": lambda: PhaseAwareRouter(slo=slo),
-    }[args.router]()
+    }[args.router]
+
+
+def _build_router(args: argparse.Namespace, slo):
+    return _router_factory(args, slo)()
 
 
 def _build_arrivals(args: argparse.Namespace) -> list:
@@ -212,36 +222,93 @@ def _trace_destination(path: str) -> Optional[pathlib.Path]:
     return destination
 
 
+def _run_sharded_cluster(args: argparse.Namespace, model, slo, shards: int,
+                         progress):
+    """The ``--workers``/``--shards`` cluster path: sharded simulation.
+
+    Builds the fleet as a :class:`~repro.cluster.config.ClusterConfig`
+    (worker processes rebuild replicas from pickled specs), wraps the
+    ``--router`` policy as the per-group local inside a
+    :class:`~repro.cluster.router.ShardRouter`, and ships the workload
+    as a splittable stream spec so each worker regenerates only its own
+    arrival slice. Returns ``(report, make_arrivals)``.
+    """
+    from repro.cluster import (
+        ClusterConfig,
+        ReplicaSpec,
+        ShardRouter,
+        run_sharded,
+    )
+    from repro.workloads.streams import ShardableStream
+
+    keys = args.platforms.split(",")
+    backends = _build_backends(args, len(keys))
+    config = ClusterConfig([
+        ReplicaSpec(get_platform(key), model, count=1, backend=backend,
+                    max_batch=args.batch)
+        for key, backend in zip(keys, backends)])
+    router = ShardRouter(shards, local=_router_factory(args, slo))
+    count = args.requests
+    if count is None and args.duration is None:
+        count = 32
+    stream = ShardableStream(rate_per_s=args.rate, count=count,
+                             duration_s=args.duration,
+                             burst_rate_per_s=args.burst_rate or None,
+                             seed=args.seed)
+    report = run_sharded(config, router, stream, workers=args.workers,
+                         exact=args.exact, progress=progress)
+    return report, stream.full
+
+
 def _cmd_cluster(args: argparse.Namespace) -> int:
     from repro.cluster import ClusterSimulator
     from repro.serving.slo import SLO
     from repro.trace import NOOP_TRACER, RecordingTracer, write_chrome_trace
 
+    if args.exact not in (False, True, "step", "vectorized"):
+        print(f"error: --exact takes 'step' or 'vectorized' (or nothing), "
+              f"got {args.exact!r}", file=sys.stderr)
+        return 2
+    sharded = args.workers > 1 or args.shards is not None
+    shards = args.shards if args.shards is not None else args.workers
     tracer = NOOP_TRACER
     destination = None
     if args.trace:
+        if sharded:
+            # Worker processes cannot share one recording tracer.
+            print("error: --trace requires the single-process path "
+                  "(drop --workers/--shards)", file=sys.stderr)
+            return 2
         # Fail before the simulation runs, not after minutes of work.
         destination = _trace_destination(args.trace)
         if destination is None:
             return 2
         tracer = RecordingTracer()
     model = get_model(args.model)
-    try:
-        nodes = _build_fleet(args, model)
-    except ValueError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 2
     slo = SLO(ttft_s=args.ttft, tpot_s=args.tpot)
-    make_arrivals = _arrival_factory(args)
     progress = None
     if args.progress or sys.stderr.isatty():
         import time
 
         progress = _progress_line(time.perf_counter())
-    report = ClusterSimulator(nodes, _build_router(args, slo),
-                              tracer=tracer,
-                              exact=args.exact).run(make_arrivals(),
-                                                    progress=progress)
+    if sharded:
+        try:
+            report, make_arrivals = _run_sharded_cluster(
+                args, model, slo, shards, progress)
+        except (TypeError, ValueError) as error:
+            print(f"\nerror: {error}", file=sys.stderr)
+            return 2
+    else:
+        try:
+            nodes = _build_fleet(args, model)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        make_arrivals = _arrival_factory(args)
+        report = ClusterSimulator(nodes, _build_router(args, slo),
+                                  tracer=tracer,
+                                  exact=args.exact).run(make_arrivals(),
+                                                        progress=progress)
     if progress is not None:
         print(file=sys.stderr)
     rows = [[s.name, s.platform, s.completed, s.utilization,
@@ -249,8 +316,8 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     print(format_table(
         ["replica", "platform", "completed", "utilization", "peak queue"],
         rows,
-        title=f"{model.name} x {len(nodes)} replicas, "
-              f"router={args.router}, {len(report.completed)} requests"))
+        title=f"{model.name} x {len(report.node_stats)} replicas, "
+              f"router={report.router}, {len(report.completed)} requests"))
     # Scoring regenerates the deterministic stream instead of holding it.
     print(f"\nthroughput: {report.throughput:.1f} tok/s   "
           f"mean TTFT: {report.mean_ttft_s * 1000:.0f} ms   "
@@ -445,10 +512,26 @@ def build_parser() -> argparse.ArgumentParser:
                                      "seconds instead of a fixed count "
                                      "(combine with --requests to cap "
                                      "both)")
-    cluster_parser.add_argument("--exact", action="store_true",
+    cluster_parser.add_argument("--exact", nargs="?", const=True,
+                                default=False, metavar="MODE",
                                 help="price every scheduler iteration "
                                      "individually (reference loop; slow "
-                                     "on large runs)")
+                                     "on large runs); pass 'vectorized' "
+                                     "for the numpy-accelerated exact "
+                                     "mode")
+    cluster_parser.add_argument("--workers", type=int, default=1,
+                                metavar="N",
+                                help="run replica shard groups in N "
+                                     "worker processes (default 1 = "
+                                     "single-process; results are "
+                                     "bit-identical either way)")
+    cluster_parser.add_argument("--shards", type=int, default=None,
+                                metavar="G",
+                                help="number of replica shard groups "
+                                     "(default: --workers); the --router "
+                                     "policy routes locally within each "
+                                     "group behind a stateless "
+                                     "request-id hash")
     cluster_parser.add_argument("--progress", action="store_true",
                                 help="force the progress line even when "
                                      "stderr is not a terminal")

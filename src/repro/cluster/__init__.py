@@ -6,7 +6,10 @@ cost/SLO-aware heterogeneous routing), queue-driven autoscaling with
 provisioning lag, and failure handling with requeue accounting. The
 deployment question the paper's Section VI costs out — how many SPR
 sockets vs. GPUs serve a load within SLO — answered by simulation
-instead of ceiling division.
+instead of ceiling division. Fleets routed by :class:`ShardRouter`
+additionally decompose into independent replica groups that
+:func:`run_sharded` simulates in worker processes and merges back
+deterministically (see :mod:`repro.cluster.shard`).
 """
 
 from repro.cluster.autoscaler import Autoscaler, NodeTemplate
@@ -20,7 +23,9 @@ from repro.cluster.router import (
     PhaseAwareRouter,
     RoundRobinRouter,
     Router,
+    ShardRouter,
 )
+from repro.cluster.shard import run_sharded, warm_caches
 from repro.cluster.simulator import ClusterSimulator, NodeDrain, NodeFailure
 
 __all__ = [
@@ -40,4 +45,7 @@ __all__ = [
     "ReplicaSpec",
     "RoundRobinRouter",
     "Router",
+    "ShardRouter",
+    "run_sharded",
+    "warm_caches",
 ]

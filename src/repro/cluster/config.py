@@ -95,3 +95,38 @@ class ClusterConfig:
                     tracer=tracer, exact=exact))
                 index += 1
         return fleet
+
+    def _flat_specs(self) -> List[ReplicaSpec]:
+        """One spec per replica, in fleet order."""
+        flat: List[ReplicaSpec] = []
+        for spec in self.replicas:
+            flat.extend([spec] * spec.count)
+        return flat
+
+    def replica_names(self) -> List[str]:
+        """The fleet's replica names in fleet order, without building it."""
+        return [f"{spec.base_name}-{index}"
+                for index, spec in enumerate(self._flat_specs())]
+
+    def build_subset(self, indices: Sequence[int],
+                     tracer: Tracer = NOOP_TRACER,
+                     exact: bool = False) -> List[ReplicaNode]:
+        """Instantiate only the replicas at the given fleet positions.
+
+        Names carry the *fleet-wide* index, identical to what
+        :meth:`build_fleet` would have assigned — a sharded worker's
+        group of replicas is indistinguishable from the same replicas
+        inside the full fleet.
+        """
+        flat = self._flat_specs()
+        subset: List[ReplicaNode] = []
+        for index in indices:
+            if not 0 <= index < len(flat):
+                raise IndexError(f"replica index {index} out of range for "
+                                 f"a fleet of {len(flat)}")
+            spec = flat[index]
+            subset.append(ReplicaNode(
+                f"{spec.base_name}-{index}", spec.platform, spec.model,
+                spec.max_batch, spec.config, spec.backend,
+                tracer=tracer, exact=exact))
+        return subset

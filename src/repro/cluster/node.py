@@ -34,11 +34,26 @@ form off the shared prefix-sum step-cost curves
 trace span per track instead of one per iteration. ``exact=True``
 restores per-iteration stepping with unmemoized pricing; the two agree
 on every report field to ≤1e-9 relative (pinned by the parity suite).
+
+**Exact-mode flavors.** ``exact`` accepts three truthy spellings:
+``True`` and ``"step"`` are the classic reference loop — every
+iteration stepped and priced individually, no memo tables anywhere.
+``"vectorized"`` keeps the reference property (prefills and
+batch-boundary iterations still price scalar and unmemoized, nothing is
+read from the shared :class:`~repro.engine.stepcost.DecodeCostTable`
+registry) but prices each pure-decode stretch in one fresh
+piecewise-affine series call
+(:meth:`~repro.engine.executor.OperatorExecutor.time_decode_series`)
+and finds the horizon cutoff with a numpy prefix-sum search — closing
+most of the ~50x step-exact vs fast gap while remaining an independent
+cross-check of the memoized fast path.
 """
 
 import bisect
 import dataclasses
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from repro.engine.backend import ExecutionBackend
 from repro.engine.inference import DEFAULT_ENGINE_CONFIG, EngineConfig
@@ -83,9 +98,13 @@ class ReplicaNode:
         tracer: Span sink for this node's request/replica timeline; the
             default no-op discards everything (the cluster simulator
             re-points this at its own tracer when it adopts a node).
-        exact: Price every iteration individually with unmemoized cost
-            primitives (the reference step loop). The default uses the
-            shared step-cost table and coalesces pure-decode runs.
+        exact: ``False`` (default) prices off the shared step-cost
+            table and coalesces pure-decode runs. ``True`` / ``"step"``
+            price every iteration individually with unmemoized cost
+            primitives (the reference step loop). ``"vectorized"`` is
+            the fast reference: same unmemoized scalar pricing at batch
+            boundaries, but pure-decode stretches priced per-stretch
+            with one closed-form series call instead of stepped.
         collect_gaps: Record per-iteration inter-token gaps (coalesced
             runs are expanded back into individual gaps). Off by default
             — a million-request fleet run should not grow an unused list.
@@ -96,7 +115,8 @@ class ReplicaNode:
                  config: EngineConfig = DEFAULT_ENGINE_CONFIG,
                  backend: Optional[ExecutionBackend] = None,
                  simulator: Optional[BatchingSimulator] = None,
-                 tracer: Tracer = NOOP_TRACER, exact: bool = False,
+                 tracer: Tracer = NOOP_TRACER,
+                 exact: Union[bool, str] = False,
                  collect_gaps: bool = False):
         if simulator is None:
             if platform is None or model is None:
@@ -122,6 +142,16 @@ class ReplicaNode:
         self.peak_queue = 0
         self.draining = False
         self.active = True
+        # Vectorized exact mode's estimate of one decode step's cost
+        # near the node's current kv frontier — sizes how much of a
+        # stretch to price, never what the priced steps cost.
+        self._step_cost_hint: Optional[float] = None
+        # Optional shard-merge hook (see repro.cluster.shard): when a
+        # list is attached, every iteration that admits requests appends
+        # one (iteration_start_s, admitted_count) entry. Admissions are
+        # atomic per iteration, so per-request start stamps cannot
+        # reconstruct when the fleet queue actually shrank — this can.
+        self.admission_log: Optional[List[Tuple[float, int]]] = None
 
     # -- identification -------------------------------------------------------
 
@@ -260,8 +290,10 @@ class ReplicaNode:
         self.clock = start
         tracer = self.tracer
         stall = 0.0
+        admitted = 0
         while (self.pending and len(self.running) < self.max_batch
                and self.pending[0].ready_s <= self.clock):
+            admitted += 1
             queued = self.pending.pop(0)
             request = queued.request
             start_s = self.clock
@@ -295,9 +327,17 @@ class ReplicaNode:
                                   "batch_size": len(self.running),
                                   "compute_s": compute_s,
                                   "memory_s": memory_s})
+        if admitted and self.admission_log is not None:
+            self.admission_log.append((start, admitted))
         completed_now: List[CompletedRequest] = []
-        self.running, retired = BatchingSimulator._retire(self.running,
-                                                          self.clock)
+        # Most iterations retire nobody; scan before paying _retire's
+        # list rebuild.
+        retired: Sequence[_Running] = ()
+        for seq in self.running:
+            if seq.done:
+                self.running, retired = BatchingSimulator._retire(
+                    self.running, self.clock)
+                break
         for seq in retired:
             record = BatchingSimulator._complete(seq, self.clock)
             self.completed.append(record)
@@ -317,8 +357,10 @@ class ReplicaNode:
                                   "input_len": seq.request.input_len,
                                   "output_len": seq.request.output_len})
         if self.running:
-            mean_kv = int(sum(seq.kv_len for seq in self.running)
-                          / len(self.running))
+            total_kv = 0
+            for seq in self.running:
+                total_kv += seq.request.input_len + seq.generated
+            mean_kv = int(total_kv / len(self.running))
             iteration = self._iteration_cost(len(self.running), mean_kv)
             decode_start = self.clock
             self.clock += iteration
@@ -365,38 +407,54 @@ class ReplicaNode:
         In the default (fast) mode, stretches where the batch provably
         cannot change — nothing admissible before the horizon, nobody
         finishing — are priced in one closed-form range lookup
-        (:meth:`_fast_forward`) instead of stepped; with ``exact=True``
-        every iteration is stepped and priced individually.
+        (:meth:`_fast_forward`) instead of stepped; with
+        ``exact="vectorized"`` the same stretches are priced by a fresh
+        per-stretch series call (no shared memo tables); with
+        ``exact=True`` / ``"step"`` every iteration is stepped and
+        priced individually.
         """
         completed: List[CompletedRequest] = []
+        vectorized = self.exact == "vectorized"
         while True:
             start = self.next_event_time()
             if start is None or (horizon is not None and start >= horizon):
                 return completed
-            if not self.exact:
+            if vectorized:
+                window = self._vectorized_steps(start, horizon)
+                if window is not None:
+                    self._fast_forward(*window)
+                    continue
+            elif not self.exact:
                 steps, mean_kv = self._coalescible_steps(start, horizon)
                 if steps >= 2:
-                    self._fast_forward(steps, mean_kv)
+                    batch = len(self.running)
+                    if self.collect_gaps or self.tracer.enabled:
+                        step_times = self._cost.step_times(batch, mean_kv,
+                                                           mean_kv + steps)
+                        split = lambda: self._cost.range_cost(
+                            batch, mean_kv, mean_kv + steps)[1:]
+                        self._fast_forward(steps, mean_kv, step_times, split)
+                    else:
+                        self._fast_forward_fused(batch, steps, mean_kv)
                     continue
             completed.extend(self.advance())
 
-    def _coalescible_steps(self, start: float,
-                           horizon: Optional[float]) -> Tuple[int, int]:
-        """(pure-decode iterations runnable from *start*, batch mean KV).
+    def _coalescible_window(self, start: float, horizon: Optional[float]
+                            ) -> Tuple[int, int, Optional[float]]:
+        """(step limit, batch mean KV, time budget) of a pure-decode run.
 
-        The count is zero unless the running set is non-empty, nobody
+        The limit is zero unless the running set is non-empty, nobody
         retires within the window (bounded by the closest sequence to
         finishing), and no admission can happen at or before the
-        window's iterations begin. The count against the time bound —
-        the earlier of *horizon* and the head-of-queue readiness — is
-        one binary search over the prefix-sum cost curve, using the
-        invariant that a pure-decode run's mean KV length advances by
-        exactly +1 per iteration (integer floor of a sum that grows by
-        the batch size each step).
+        window's iterations begin. The budget is the time available
+        against the earlier of *horizon* and the head-of-queue
+        readiness (``None`` = unbounded); converting it to a step count
+        is mode-specific — a prefix-curve binary search in fast mode, a
+        numpy prefix-sum search in vectorized exact mode.
         """
         running = self.running
         if not running:
-            return 0, 0
+            return 0, 0, None
         limit = None
         total_kv = 0
         for seq in running:
@@ -406,7 +464,7 @@ class ReplicaNode:
                 limit = remaining
             total_kv += request.input_len + seq.generated
         if limit < 2:
-            return 0, 0
+            return 0, 0, None
         batch = len(running)
         mean_kv = total_kv // batch
         if mean_kv < 1:
@@ -415,33 +473,133 @@ class ReplicaNode:
         if self.pending and batch < self.max_batch:
             ready = self.pending[0].ready_s
             if ready <= start:
-                return 0, 0  # admissible right now: step normally
+                return 0, 0, None  # admissible right now: step normally
             if bound is None or ready < bound:
                 bound = ready
         if bound is None:
-            return limit, mean_kv
-        return self._cost.steps_within(batch, mean_kv,
-                                       bound - start, limit), mean_kv
+            return limit, mean_kv, None
+        return limit, mean_kv, bound - start
 
-    def _fast_forward(self, steps: int, mean_kv: int) -> None:
+    def _coalescible_steps(self, start: float,
+                           horizon: Optional[float]) -> Tuple[int, int]:
+        """(pure-decode iterations runnable from *start*, batch mean KV).
+
+        Fast-mode step counting: the window's time budget resolves to a
+        step count with one binary search over the shared prefix-sum
+        cost curve, using the invariant that a pure-decode run's mean KV
+        length advances by exactly +1 per iteration (integer floor of a
+        sum that grows by the batch size each step).
+        """
+        limit, mean_kv, budget = self._coalescible_window(start, horizon)
+        if limit == 0:
+            return 0, 0
+        if budget is None:
+            return limit, mean_kv
+        return self._cost.steps_within(len(self.running), mean_kv,
+                                       budget, limit), mean_kv
+
+    def _vectorized_steps(self, start: float, horizon: Optional[float]):
+        """Vectorized exact mode's coalescing window, or ``None`` to step.
+
+        Prices the whole candidate stretch with one fresh
+        ``time_decode_series`` call — the same closed-form
+        piecewise-affine analysis the fast path's tables are built from,
+        but per-stretch and unmemoized, so this mode never reads the
+        shared table registry. The horizon cutoff is the count of
+        iterations whose start offset (numpy prefix sum of the per-step
+        times, the same left-to-right additions the step loop performs)
+        lands strictly inside the budget — mirroring
+        ``DecodeCostTable.steps_within``'s strict-start rule.
+        """
+        limit, mean_kv, budget = self._coalescible_window(start, horizon)
+        if limit < 2:
+            return None
+        batch = len(self.running)
+        if budget is None:
+            priced = limit
+        else:
+            # Price only what the budget can plausibly consume,
+            # estimating the step count from the last stretch's step
+            # cost (a probe pricing when there is none yet). The
+            # estimate only affects how much gets priced: a shortfall
+            # re-prices a doubled range — always as one fresh series
+            # from mean_kv, so the step values used are a consistent
+            # single pricing.
+            hint = self._step_cost_hint
+            if hint is None:
+                hint = self._sim._decode_series(batch, mean_kv,
+                                                mean_kv + 1)[0][0]
+            priced = min(limit, int(budget / hint) + 2)
+        while True:
+            times, compute, memory = self._sim._decode_series(
+                batch, mean_kv, mean_kv + priced)
+            if budget is None:
+                steps = priced
+                break
+            starts = np.empty(priced)
+            starts[0] = 0.0
+            np.cumsum(times[:priced - 1], out=starts[1:])
+            steps = int(np.searchsorted(starts, budget, side="left"))
+            if steps < priced or priced == limit:
+                break
+            priced = min(limit, priced * 2)
+        self._step_cost_hint = times[steps - 1]
+        if steps < 2:
+            return None
+        split = lambda: (sum(compute[:steps]), sum(memory[:steps]))
+        return steps, mean_kv, times[:steps], split
+
+    def _fast_forward_fused(self, batch: int, steps: int,
+                            mean_kv: int) -> None:
+        """:meth:`_fast_forward` specialized for the no-observer case.
+
+        With no gap collection and no tracer attached, nothing ever
+        reads the per-step time list — so this path differences the
+        shared prefix curve in place instead of materializing it. The
+        step values and their addition order are identical to the list
+        path (``prefix[kv] - prefix[kv - 1]``, accumulated
+        left-to-right), keeping the clock bit-equal between the two.
+        """
+        prefix = self._cost.prefix_times(batch, mean_kv + steps)
+        clock = self.clock
+        busy = self.busy_s
+        prev = prefix[mean_kv - 1]
+        for cur in prefix[mean_kv:mean_kv + steps]:
+            step_s = cur - prev
+            clock += step_s
+            busy += step_s
+            prev = cur
+        self.clock = clock
+        self.busy_s = busy
+        self.iterations += steps
+        for seq in self.running:
+            seq.generated += steps
+            seq.last_event_s = clock
+
+    def _fast_forward(self, steps: int, mean_kv: int,
+                      step_times: Sequence[float],
+                      split: Callable[[], Tuple[float, float]]) -> None:
         """Execute *steps* pure-decode iterations as one coalesced block.
 
-        Per-step costs come from the prefix curve in one slice, but the
-        clock (and busy time) advance by adding them *one at a time*, in
-        the same order the per-iteration loop would: a request's TTFT is
-        a tiny difference of huge timestamps, so even the one-ulp-per-run
-        drift of adding a range sum instead of the step sequence would
-        amplify past 1e-9 over a 100k-request trace. The float additions
-        are two per step (into locals, stored once — same value sequence,
-        same rounding) — the per-step work the fast path actually avoids
-        is the *pricing*, which is three orders of magnitude dearer. The
-        trace receives one replica ``decode`` span carrying ``steps`` and
-        one request ``decode[a..b]`` span per sequence, so attribution
-        still tiles each request's ``e2e_s``.
+        *step_times* is the block's per-iteration cost sequence (a
+        prefix-curve slice in fast mode, a fresh series in vectorized
+        exact mode) and *split* lazily supplies the block's
+        (compute_s, memory_s) attribution legs — only evaluated while a
+        recording tracer is attached. The clock (and busy time) advance
+        by adding the step costs *one at a time*, in the same order the
+        per-iteration loop would: a request's TTFT is a tiny difference
+        of huge timestamps, so even the one-ulp-per-run drift of adding
+        a range sum instead of the step sequence would amplify past 1e-9
+        over a 100k-request trace. The float additions are two per step
+        (into locals, stored once — same value sequence, same rounding)
+        — the per-step work the fast path actually avoids is the
+        *pricing*, which is three orders of magnitude dearer. The trace
+        receives one replica ``decode`` span carrying ``steps`` and one
+        request ``decode[a..b]`` span per sequence, so attribution still
+        tiles each request's ``e2e_s``.
         """
         running = self.running
         batch = len(running)
-        step_times = self._cost.step_times(batch, mean_kv, mean_kv + steps)
         run_start = self.clock
         clock = run_start
         busy = self.busy_s
@@ -455,8 +613,7 @@ class ReplicaNode:
             self.decode_gaps.extend(step_times)
         tracer = self.tracer
         if tracer.enabled:
-            _, compute_s, memory_s = self._cost.range_cost(
-                batch, mean_kv, mean_kv + steps)
+            compute_s, memory_s = split()
             tracer.span(self._track, "decode", run_start, self.clock,
                         category="replica",
                         args={"batch_size": batch, "mean_kv": mean_kv,

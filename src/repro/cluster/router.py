@@ -10,6 +10,14 @@ event loop calls it once per request at its arrival time. Policies:
 * :class:`LeastOutstandingTokensRouter` — fewest outstanding tokens,
   the token-aware refinement of JSQ (requests are wildly different
   sizes, so counting requests mis-weighs long prompts).
+* :class:`ShardRouter` — a stateless *door* over per-group policies: a
+  pure hash of the request id picks a fixed replica group, and a local
+  policy instance (any of the above) routes within the group. Because
+  the door never reads fleet state and each local policy only ever sees
+  its own group, the fleet partitions into independent simulations —
+  the property :func:`repro.cluster.shard.run_sharded` exploits to run
+  replica groups in parallel worker processes with bit-identical
+  results for any worker count.
 * :class:`PhaseAwareRouter` — cost/SLO-aware heterogeneous routing:
   prices each candidate's prefill + decode for *this* request with the
   replica's own cost model, discards replicas whose projected TTFT
@@ -22,7 +30,7 @@ event loop calls it once per request at its arrival time. Policies:
 """
 
 import math
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from repro.analysis.cost import LIST_PRICE_USD, list_price
 from repro.optim.disaggregation import phase_affinity
@@ -85,6 +93,78 @@ class LeastOutstandingTokensRouter(Router):
     def select(self, request: ArrivingRequest,
                nodes: Sequence[ReplicaNode], now: float) -> ReplicaNode:
         return min(self.routable(nodes), key=lambda n: n.outstanding_tokens)
+
+
+class ShardRouter(Router):
+    """Stateless door over per-group local routing policies.
+
+    The fleet is partitioned *striped* by fleet position — replica
+    ``i`` belongs to group ``i % num_groups``, so a mixed-backend fleet
+    spreads each backend across groups — and every request is doored by
+    a pure hash of its id, ``request_id % num_groups``. Requests rescued
+    from a failed replica keep their id, so they re-door to the same
+    group and requeue locally. Each group gets its own instance of the
+    local policy (built once, up front, by *local*), which only ever
+    observes its own group's replicas.
+
+    Those two properties — a door that reads nothing but the request,
+    and local state confined to one group — make the groups
+    *independent*: simulating each group alone, against its own
+    sub-stream of arrivals and its own slice of the failure/drain
+    schedule, reproduces the global simulation bit-for-bit. That is the
+    contract :func:`repro.cluster.shard.run_sharded` runs worker
+    processes against, and why this router requires a **static fleet**:
+    an autoscaler growing the fleet mid-run would re-stripe the groups
+    (and global queue-depth scaling decisions are inherently
+    cross-group), so a fleet-size change raises instead.
+
+    Cost/SLO-aware routing (:class:`PhaseAwareRouter`) is shard-safe
+    only in this grouped form — as the *local* policy, comparing
+    replicas within one group. A fleet-global cost-SLO router is not
+    partitionable: its choice depends on every replica's projected
+    backlog, which couples all groups' queues into one decision.
+
+    Args:
+        num_groups: Number of independent replica groups.
+        local: Zero-arg factory for the per-group policy (default
+            :class:`RoundRobinRouter`). Called ``num_groups`` times at
+            construction; the instances are pickled along to workers.
+    """
+
+    def __init__(self, num_groups: int,
+                 local: Callable[[], Router] = RoundRobinRouter):
+        if num_groups < 1:
+            raise ValueError(f"num_groups must be >= 1, got {num_groups}")
+        self.num_groups = num_groups
+        self.locals: List[Router] = [local() for _ in range(num_groups)]
+        self.name = f"shard({self.locals[0].name}x{num_groups})"
+        self._fleet_size: Optional[int] = None
+
+    def door(self, request: ArrivingRequest) -> int:
+        """The group serving *request* — a pure function of the id."""
+        return request.request_id % self.num_groups
+
+    def group_indices(self, fleet_size: int, group: int) -> List[int]:
+        """Fleet positions belonging to *group* (striped partition)."""
+        return list(range(group, fleet_size, self.num_groups))
+
+    def select(self, request: ArrivingRequest,
+               nodes: Sequence[ReplicaNode], now: float) -> ReplicaNode:
+        if self._fleet_size is None:
+            if len(nodes) < self.num_groups:
+                raise ValueError(
+                    f"ShardRouter with {self.num_groups} groups needs at "
+                    f"least {self.num_groups} replicas, got {len(nodes)}")
+            self._fleet_size = len(nodes)
+        elif len(nodes) != self._fleet_size:
+            raise RuntimeError(
+                "ShardRouter requires a static fleet (group striping is "
+                f"fixed at first routing): started with {self._fleet_size} "
+                f"replicas, now {len(nodes)}")
+        group = self.door(request)
+        members = [nodes[i] for i in
+                   range(group, len(nodes), self.num_groups)]
+        return self.locals[group].select(request, members, now)
 
 
 class PhaseAwareRouter(Router):

@@ -153,17 +153,29 @@ class ClusterSimulator:
 
     def run(self, arrivals: Iterable[ArrivingRequest],
             progress: Optional[ProgressFn] = None,
-            progress_every: int = 4096) -> ClusterReport:
+            progress_every: int = 4096,
+            merge_log: Optional[object] = None) -> ClusterReport:
         """Simulate the fleet over *arrivals* and aggregate the outcome.
 
         *arrivals* may be any iterable; an iterator is consumed lazily
         (one unrouted arrival buffered) and must be time-ordered. An
         optional *progress* callback fires every *progress_every*
         dispatched events with ``(events, simulated_time_s, completed)``.
+
+        *merge_log* is the sharded runner's hook
+        (:class:`repro.cluster.shard.ShardMergeLog`): when attached, the
+        loop reports every dispatched event — ``(rank, time, fleet queue
+        depth after)`` — so a per-group run can stamp its events with
+        their *global* total-order keys for the deterministic merge.
+        Only meaningful for autoscaler-free runs (the sharded runner
+        rejects autoscaling before it gets here).
         """
         stream = self._arrival_stream(arrivals)
         first = next(stream, None)
-        if first is None:
+        if first is None and merge_log is None:
+            # A sharded sub-run (merge_log attached) may legitimately
+            # own a group no arrival doors to; it still dispatches its
+            # slice of the failure/drain schedule.
             raise ValueError("no arrivals to serve")
 
         heap: list = []
@@ -176,10 +188,11 @@ class ClusterSimulator:
 
         for event in self.scheduled:
             push(event.time_s, _RANK_SCHEDULED, event)
-        push(first.arrival_s, _RANK_ARRIVAL, first)
-        arrival_pending = True
-        last_arrival_s = first.arrival_s
-        arrived = 1
+        if first is not None:
+            push(first.arrival_s, _RANK_ARRIVAL, first)
+        arrival_pending = first is not None
+        last_arrival_s = first.arrival_s if first is not None else 0.0
+        arrived = 1 if first is not None else 0
         provisioning = 0
         if self.autoscaler is not None:
             push(self.autoscaler.sample_interval_s, _RANK_SAMPLE, None)
@@ -194,6 +207,8 @@ class ClusterSimulator:
 
         def record(event: ClusterEvent) -> None:
             log.append(event)
+            if merge_log is not None:
+                merge_log.on_event(event)
             if tracer.enabled:
                 tracer.instant(CLUSTER_TRACK, event.kind, event.time_s,
                                args={"node": event.node, **event.details})
@@ -282,6 +297,8 @@ class ClusterSimulator:
             events_dispatched += 1
             depth = self._fleet_queue_len()
             timeline.append((now, depth))
+            if merge_log is not None:
+                merge_log.on_dispatch(rank, now, depth)
             if tracer.enabled:
                 tracer.counter(CLUSTER_TRACK, "fleet_queue_depth", now,
                                depth)
@@ -301,7 +318,8 @@ class ClusterSimulator:
             raise RuntimeError(
                 f"cluster lost requests: {arrived} arrived, "
                 f"{len(completed)} completed")
-        makespan = max(record.finish_s for record in completed)
+        makespan = max(record.finish_s for record in completed) \
+            if completed else 0.0
         if progress is not None:
             progress(events_dispatched, makespan, len(completed))
         node_stats = [
@@ -309,7 +327,7 @@ class ClusterSimulator:
                 name=node.name,
                 platform=node.platform.name,
                 busy_s=node.busy_s,
-                utilization=node.busy_s / makespan,
+                utilization=node.busy_s / makespan if makespan else 0.0,
                 iterations=node.iterations,
                 completed=len(node.completed),
                 generated_tokens=node.generated_tokens,

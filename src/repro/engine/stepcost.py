@@ -168,6 +168,19 @@ class DecodeCostTable:
                 curve.prefix_c[b] - curve.prefix_c[a],
                 curve.prefix_m[b] - curve.prefix_m[a])
 
+    def prefix_times(self, batch: int, kv_end: int) -> List[float]:
+        """The cumulative decode-time curve, ensured through ``kv_end``.
+
+        Read-only access to the raw prefix list behind
+        :meth:`step_times` / :meth:`range_cost`, for hot callers that
+        difference consecutive entries in place instead of
+        materializing a per-step list (entry ``kv`` minus entry
+        ``kv - 1`` is the iteration cost at that KV length).
+        """
+        curve = self._curve(batch)
+        curve.ensure(kv_end)
+        return curve.prefix_t
+
     def step_times(self, batch: int, kv_start: int,
                    kv_end: int) -> List[float]:
         """Per-iteration times for ``kv_len`` in ``[kv_start, kv_end)``.

@@ -85,6 +85,14 @@ def clear_caches() -> None:
     from current calibration constants. The on-disk sweep cache needs no
     clearing: its keys hash the calibration inputs, so changed constants
     simply miss.
+
+    Every one of these memo tables is **per process**: plain module-level
+    dicts, neither shared with nor visible to other processes. Clearing
+    them here does not touch the sharded cluster runner's workers (each
+    fork/spawn starts its own copy), and conversely a worker warming its
+    caches (:func:`repro.cluster.warm_caches`) leaves the parent's
+    untouched — fork-inherited pages are copy-on-write snapshots, not
+    shared state.
     """
     from repro.engine.backend import clear_backend_op_caches
     from repro.engine.stepcost import clear_decode_cost_tables

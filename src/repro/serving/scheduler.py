@@ -37,13 +37,17 @@ from repro.utils.validation import require_positive
 SERVER_TRACK = replica_track("server")
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class CompletedRequest:
     """Per-request timing after a serving simulation.
 
     Attributes:
         request_id: Id from the arrival stream.
         arrival_s / start_s / first_token_s / finish_s: Lifecycle stamps.
+
+    Slotted: million-request traces keep every record alive, and a
+    ``__dict__``-carrying instance is two tracked objects for the
+    cyclic GC to traverse instead of one (and ~3x the memory).
     """
 
     request_id: int
@@ -232,6 +236,18 @@ class BatchingSimulator:
         timings = self._executor.time_ops(ops)
         return (sum(t.compute_s for t in timings),
                 sum(t.memory_s for t in timings))
+
+    def _decode_series(self, batch_size: int, kv_start: int, kv_end: int):
+        """Per-step ``(time_s, compute_s, memory_s)`` lists for a decode run.
+
+        A thin pass-through to the executor's closed-form series pricer
+        (comm included per step, same as :meth:`_decode_iteration_time`).
+        The vectorized exact mode calls this fresh per coalesced stretch
+        — deliberately unmemoized, so exact-mode results never depend on
+        the shared :class:`~repro.engine.stepcost.DecodeCostTable` state.
+        """
+        return self._executor.time_decode_series(self.model, batch_size,
+                                                 kv_start, kv_end)
 
     # -- static batching ------------------------------------------------------
 

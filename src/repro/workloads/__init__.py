@@ -10,7 +10,11 @@ from repro.workloads.generator import (
     translation_workload,
 )
 from repro.workloads.serving import ServingStats, serve
-from repro.workloads.streams import stream_trace_file, stream_workload
+from repro.workloads.streams import (
+    ShardableStream,
+    stream_trace_file,
+    stream_workload,
+)
 from repro.workloads.traces import (
     Trace,
     load_trace,
@@ -22,6 +26,7 @@ from repro.workloads.traces import (
 __all__ = [
     "PRESET_WORKLOADS",
     "ServingStats",
+    "ShardableStream",
     "Trace",
     "WorkloadSpec",
     "load_trace",

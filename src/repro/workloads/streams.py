@@ -17,6 +17,7 @@ regenerate the identical stream for a second pass (e.g. exact-mode
 comparison or SLO scoring) instead of holding it in memory.
 """
 
+import dataclasses
 from typing import Iterator, Optional
 
 from repro.serving.arrivals import (
@@ -32,22 +33,68 @@ def stream_workload(spec: Optional[WorkloadSpec], rate_per_s: float,
                     duration_s: Optional[float] = None,
                     burst_rate_per_s: Optional[float] = None,
                     burst_s: float = 10.0, period_s: float = 60.0,
-                    seed: int = 0) -> Iterator[ArrivingRequest]:
+                    seed: int = 0, shard: int = 0,
+                    num_shards: int = 1) -> Iterator[ArrivingRequest]:
     """Lazy arrival stream shaped by *spec*.
 
     Poisson at *rate_per_s* by default; passing *burst_rate_per_s* makes
     the stream two-phase bursty (``burst_s``-long windows at the burst
     rate every ``period_s``). Bounded by *count* requests and/or
     *duration_s* simulated seconds — at least one bound is required.
+    ``(shard, num_shards)`` selects the deterministic sub-stream of
+    requests with ``request_id % num_shards == shard`` (the union of
+    sub-streams is bit-equal to the full stream; see
+    :func:`~repro.serving.arrivals.iter_poisson_arrivals`).
     """
     if burst_rate_per_s is not None:
         return iter_bursty_arrivals(rate_per_s, burst_rate_per_s,
                                     count=count, duration_s=duration_s,
                                     spec=spec, burst_s=burst_s,
-                                    period_s=period_s, seed=seed)
+                                    period_s=period_s, seed=seed,
+                                    shard=shard, num_shards=num_shards)
     return iter_poisson_arrivals(rate_per_s, count=count,
                                  duration_s=duration_s, spec=spec,
-                                 seed=seed)
+                                 seed=seed, shard=shard,
+                                 num_shards=num_shards)
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardableStream:
+    """A replayable, splittable arrival stream as plain data.
+
+    The sharded cluster runner (:func:`repro.cluster.shard.run_sharded`)
+    ships this spec to worker processes instead of a generator: it is
+    pickleable, every call to :meth:`full` regenerates the identical
+    stream, and :meth:`shard` regenerates exactly one worker's slice
+    without materializing the rest. Generated streams number requests
+    sequentially, so ``request_id`` doubles as the request's position in
+    the full stream — the property the deterministic shard merge keys on.
+
+    Fields mirror :func:`stream_workload`; ``burst_rate_per_s=None``
+    means plain Poisson.
+    """
+
+    rate_per_s: float
+    count: Optional[int] = None
+    duration_s: Optional[float] = None
+    spec: Optional[WorkloadSpec] = None
+    burst_rate_per_s: Optional[float] = None
+    burst_s: float = 10.0
+    period_s: float = 60.0
+    seed: int = 0
+
+    def full(self) -> Iterator[ArrivingRequest]:
+        """The complete stream, regenerated from scratch."""
+        return self.shard(0, 1)
+
+    def shard(self, shard: int, num_shards: int) -> Iterator[ArrivingRequest]:
+        """The sub-stream with ``request_id % num_shards == shard``."""
+        return stream_workload(self.spec, self.rate_per_s, count=self.count,
+                               duration_s=self.duration_s,
+                               burst_rate_per_s=self.burst_rate_per_s,
+                               burst_s=self.burst_s, period_s=self.period_s,
+                               seed=self.seed, shard=shard,
+                               num_shards=num_shards)
 
 
 def stream_trace_file(path: str) -> Iterator[ArrivingRequest]:
