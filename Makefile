@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-cluster bench-figures bench-json trace
+.PHONY: test bench bench-cluster bench-fairness bench-figures bench-json trace
 
 # Tier-1 test suite (must stay green).
 test:
@@ -20,6 +20,12 @@ bench:
 # reference leg takes a few minutes.
 bench-cluster:
 	$(PYTHON) tools/bench.py --suite cluster --json BENCH_cluster.json
+
+# Fairness-scheduler overhead: 100k-request tenant stream through the
+# built-in loop vs explicit FCFS (bit-exact parity) vs VTC/WSC, merged
+# into BENCH_cluster.json under the "fairness" key.
+bench-fairness:
+	$(PYTHON) tools/bench.py --suite fairness
 
 bench-json: bench
 

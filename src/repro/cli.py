@@ -104,18 +104,56 @@ def _cmd_roofline(args: argparse.Namespace) -> int:
 
 
 def _build_fleet(args: argparse.Namespace, model) -> list:
-    from repro.cluster import ReplicaNode
+    from repro.cluster import ReplicaNode, make_scheduler
 
     keys = args.platforms.split(",")
     backends = _build_backends(args, len(keys))
+    scheduler = getattr(args, "scheduler", None)
     nodes = []
     for index, (key, backend) in enumerate(zip(keys, backends)):
         name = f"{key}-{index}"
         if backend is not None:
             name = f"{key}-{backend.label}-{index}"
         nodes.append(ReplicaNode(name, get_platform(key), model,
-                                 max_batch=args.batch, backend=backend))
+                                 max_batch=args.batch, backend=backend,
+                                 admission=make_scheduler(scheduler)))
     return nodes
+
+
+def _throttle_config(args: argparse.Namespace):
+    """The ``--throttle`` door, or ``None`` when the door is open."""
+    limit = getattr(args, "throttle", None)
+    if limit is None:
+        return None
+    from repro.workloads import ThrottleConfig
+
+    return ThrottleConfig(window_s=args.throttle_window,
+                          max_user_requests=limit,
+                          policy=args.throttle_policy)
+
+
+def _tenant_stream(args: argparse.Namespace):
+    """The ``--tenants`` workload as a splittable stream, or ``None``.
+
+    Built once and handed to both the simulation (``.full()`` /
+    ``.shard()``) and the scoring pass (``.decisions()`` regenerates
+    door verdicts for throttled and admitted arrivals alike).
+    """
+    tenants = getattr(args, "tenants", None)
+    if tenants is None:
+        if getattr(args, "throttle", None) is not None:
+            raise ValueError("--throttle needs --tenants (the door "
+                             "windows are per-user/per-app)")
+        return None
+    from repro.workloads import TenantStream, TenantWorkloadSpec
+
+    count = args.requests
+    if count is None and args.duration is None:
+        count = 32
+    spec = TenantWorkloadSpec(users=tenants, apps=args.apps)
+    return TenantStream(spec=spec, rate_per_s=args.rate, count=count,
+                        duration_s=args.duration, seed=args.seed,
+                        throttle=_throttle_config(args))
 
 
 def _build_backends(args: argparse.Namespace, replicas: int) -> list:
@@ -245,16 +283,19 @@ def _run_sharded_cluster(args: argparse.Namespace, model, slo, shards: int,
     backends = _build_backends(args, len(keys))
     config = ClusterConfig([
         ReplicaSpec(get_platform(key), model, count=1, backend=backend,
-                    max_batch=args.batch)
+                    max_batch=args.batch,
+                    scheduler=getattr(args, "scheduler", None))
         for key, backend in zip(keys, backends)])
     router = ShardRouter(shards, local=_router_factory(args, slo))
-    count = args.requests
-    if count is None and args.duration is None:
-        count = 32
-    stream = ShardableStream(rate_per_s=args.rate, count=count,
-                             duration_s=args.duration,
-                             burst_rate_per_s=args.burst_rate or None,
-                             seed=args.seed)
+    stream = _tenant_stream(args)
+    if stream is None:
+        count = args.requests
+        if count is None and args.duration is None:
+            count = 32
+        stream = ShardableStream(rate_per_s=args.rate, count=count,
+                                 duration_s=args.duration,
+                                 burst_rate_per_s=args.burst_rate or None,
+                                 seed=args.seed)
     report = run_sharded(config, router, stream, workers=args.workers,
                          exact=args.exact, progress=progress)
     return report, stream.full
@@ -291,6 +332,11 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         import time
 
         progress = _progress_line(time.perf_counter())
+    try:
+        tenant_stream = _tenant_stream(args)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     if sharded:
         try:
             report, make_arrivals = _run_sharded_cluster(
@@ -304,7 +350,8 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         except ValueError as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
-        make_arrivals = _arrival_factory(args)
+        make_arrivals = (tenant_stream.full if tenant_stream is not None
+                         else _arrival_factory(args))
         report = ClusterSimulator(nodes, _build_router(args, slo),
                                   tracer=tracer,
                                   exact=args.exact).run(make_arrivals(),
@@ -324,6 +371,24 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
           f"attainment: {report.attainment(make_arrivals(), slo):.0%}   "
           f"goodput: {report.goodput(make_arrivals(), slo):.1f} tok/s   "
           f"$/Mtok: {report.dollars_per_million_tokens():.2f}")
+    if tenant_stream is not None:
+        fairness = report.fairness(tenant_stream.decisions(), slo=slo)
+        tenant_rows = [
+            [t.user_id, t.arrived, t.admitted, t.throttled, t.completed,
+             f"{t.attainment:.0%}",
+             "-" if t.mean_ttft_s is None else f"{t.mean_ttft_s * 1000:.0f}",
+             t.wasted_tokens]
+            for t in fairness.tenants]
+        print()
+        print(format_table(
+            ["tenant", "arrived", "admitted", "throttled", "completed",
+             "attainment", "mean TTFT ms", "wasted tok"],
+            tenant_rows,
+            title=f"{len(fairness.tenants)} tenants, "
+                  f"scheduler={report.node_stats[0].scheduler}"))
+        print(f"\njain index: {fairness.jain_index:.3f}   "
+              f"throttle rate: {fairness.throttle_rate:.0%}   "
+              f"wasted tokens: {fairness.wasted_tokens}")
     if destination is not None:
         write_chrome_trace(tracer.trace, destination)
         print(f"trace: {len(tracer.trace.spans)} spans -> {destination} "
@@ -545,6 +610,36 @@ def build_parser() -> argparse.ArgumentParser:
                                      "every replica; a comma-separated "
                                      "list assigns per replica and must "
                                      "match --platforms")
+    cluster_parser.add_argument("--tenants", type=int, default=None,
+                                metavar="N",
+                                help="serve a multi-tenant workload: N "
+                                     "users with Zipf-skewed demand and "
+                                     "multi-stage interactions (adds a "
+                                     "per-tenant report section)")
+    cluster_parser.add_argument("--apps", type=int, default=1,
+                                help="apps in the tenant workload "
+                                     "(default 1; needs --tenants)")
+    cluster_parser.add_argument("--scheduler", default=None,
+                                choices=["fcfs", "vtc", "wsc"],
+                                help="admission scheduler per replica "
+                                     "(default: built-in FCFS; vtc/wsc "
+                                     "are fair schedulers)")
+    cluster_parser.add_argument("--throttle", type=int, nargs="?",
+                                const=8, default=None, metavar="MAX",
+                                help="door throttling: at most MAX "
+                                     "admitted requests per user per "
+                                     "window (default 8 when given "
+                                     "without a value; needs --tenants)")
+    cluster_parser.add_argument("--throttle-window", type=float,
+                                default=60.0, metavar="SECONDS",
+                                help="sliding throttle window "
+                                     "(default 60)")
+    cluster_parser.add_argument("--throttle-policy", default="interaction",
+                                choices=["interaction", "request"],
+                                help="decide at interaction start "
+                                     "(never aborts mid-chain) or per "
+                                     "request (naive; aborts waste "
+                                     "completed stages)")
     cluster_parser.add_argument("--ttft", type=float, default=2.0,
                                 help="SLO: seconds to first token")
     cluster_parser.add_argument("--tpot", type=float, default=0.2,

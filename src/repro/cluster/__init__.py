@@ -12,9 +12,21 @@ additionally decompose into independent replica groups that
 deterministically (see :mod:`repro.cluster.shard`).
 """
 
+from repro.cluster.admission import (
+    AdmissionScheduler,
+    FCFSScheduler,
+    VirtualTokenCounterScheduler,
+    WeightedServiceCounterScheduler,
+    make_scheduler,
+)
 from repro.cluster.autoscaler import Autoscaler, NodeTemplate
 from repro.cluster.config import ClusterConfig, ReplicaSpec
 from repro.cluster.events import ClusterEvent
+from repro.cluster.fairness import (
+    FairnessReport,
+    TenantStats,
+    fairness_report,
+)
 from repro.cluster.metrics import ClusterReport, NodeStats
 from repro.cluster.node import ReplicaNode
 from repro.cluster.router import (
@@ -29,11 +41,14 @@ from repro.cluster.shard import run_sharded, warm_caches
 from repro.cluster.simulator import ClusterSimulator, NodeDrain, NodeFailure
 
 __all__ = [
+    "AdmissionScheduler",
     "Autoscaler",
     "ClusterConfig",
     "ClusterEvent",
     "ClusterReport",
     "ClusterSimulator",
+    "FCFSScheduler",
+    "FairnessReport",
     "JoinShortestQueueRouter",
     "LeastOutstandingTokensRouter",
     "NodeDrain",
@@ -46,6 +61,11 @@ __all__ = [
     "RoundRobinRouter",
     "Router",
     "ShardRouter",
+    "TenantStats",
+    "VirtualTokenCounterScheduler",
+    "WeightedServiceCounterScheduler",
+    "fairness_report",
+    "make_scheduler",
     "run_sharded",
     "warm_caches",
 ]

@@ -14,6 +14,7 @@ see the same per-replica numbers regardless of how the fleet is mixed.
 import dataclasses
 from typing import List, Optional, Sequence, Tuple
 
+from repro.cluster.admission import make_scheduler
 from repro.cluster.node import ReplicaNode
 from repro.engine.backend import ExecutionBackend
 from repro.engine.inference import DEFAULT_ENGINE_CONFIG, EngineConfig
@@ -38,6 +39,13 @@ class ReplicaSpec:
             ``<platform>[-<backend label>]``. Replicas are numbered
             across the whole fleet (``spr-0``, ``spr-int8-tp2-1``, ...),
             matching the CLI's ``--fail-node`` style addressing.
+        scheduler: Admission policy spelling ("fcfs", "vtc", "wsc");
+            ``None`` keeps the node's built-in FCFS loop. Each replica
+            gets its own scheduler instance (service counters are
+            per-node state).
+        scheduler_weights: Per-tenant ``(user_id, weight)`` pairs for
+            ``scheduler="wsc"``; a tuple-of-pairs (not a dict) so the
+            spec stays hashable/frozen.
     """
 
     platform: Platform
@@ -47,9 +55,19 @@ class ReplicaSpec:
     max_batch: int = 8
     config: EngineConfig = DEFAULT_ENGINE_CONFIG
     name: Optional[str] = None
+    scheduler: Optional[str] = None
+    scheduler_weights: Optional[Tuple[Tuple[int, float], ...]] = None
 
     def __post_init__(self) -> None:
         require_positive(self.count, "count")
+        # Validate the spelling eagerly (build-time instances are fresh
+        # per node; this throwaway one just checks the name).
+        make_scheduler(self.scheduler, dict(self.scheduler_weights or ()))
+
+    def make_admission(self):
+        """A fresh per-node admission scheduler (or ``None`` for FCFS)."""
+        return make_scheduler(self.scheduler,
+                              dict(self.scheduler_weights or ()))
 
     @property
     def base_name(self) -> str:
@@ -92,7 +110,8 @@ class ClusterConfig:
                 fleet.append(ReplicaNode(
                     f"{spec.base_name}-{index}", spec.platform, spec.model,
                     spec.max_batch, spec.config, spec.backend,
-                    tracer=tracer, exact=exact))
+                    tracer=tracer, exact=exact,
+                    admission=spec.make_admission()))
                 index += 1
         return fleet
 
@@ -128,5 +147,6 @@ class ClusterConfig:
             subset.append(ReplicaNode(
                 f"{spec.base_name}-{index}", spec.platform, spec.model,
                 spec.max_batch, spec.config, spec.backend,
-                tracer=tracer, exact=exact))
+                tracer=tracer, exact=exact,
+                admission=spec.make_admission()))
         return subset

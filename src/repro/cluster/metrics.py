@@ -9,7 +9,7 @@ the fleet outcome so :func:`repro.serving.slo.attainment` and
 """
 
 import dataclasses
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.analysis.cost import LIST_PRICE_USD, list_price
 from repro.cluster.events import ClusterEvent
@@ -39,6 +39,8 @@ class NodeStats:
         generated_tokens: Tokens produced here.
         peak_queue: Deepest unadmitted queue observed.
         failed / drained: Lifecycle outcome flags.
+        scheduler: Admission policy the replica ran ("fcfs" when none
+            was configured — the built-in loop).
     """
 
     name: str
@@ -51,6 +53,7 @@ class NodeStats:
     peak_queue: int
     failed: bool = False
     drained: bool = False
+    scheduler: str = "fcfs"
 
 
 @dataclasses.dataclass(frozen=True)
@@ -136,6 +139,23 @@ class ClusterReport:
     def goodput(self, arrivals: List[ArrivingRequest], slo: SLO) -> float:
         """Tokens/s counting only SLO-compliant requests."""
         return _goodput(self.to_serving_report(), arrivals, slo)
+
+    def fairness(self, decisions, slo: Optional[SLO] = None,
+                 weights=None, cutoff_s: Optional[float] = None,
+                 abandoned_ttft_s: Optional[float] = None):
+        """Per-tenant breakdown of this run (see
+        :func:`repro.cluster.fairness.fairness_report`).
+
+        *decisions* is the door's verdict stream — typically
+        :meth:`repro.workloads.tenancy.TenantStream.decisions` — which
+        carries throttled arrivals the completion records cannot know
+        about. Imported lazily to keep the tenancy subsystem optional
+        for plain anonymous-workload runs.
+        """
+        from repro.cluster.fairness import fairness_report
+        return fairness_report(decisions, self.completed, slo=slo,
+                               weights=weights, cutoff_s=cutoff_s,
+                               abandoned_ttft_s=abandoned_ttft_s)
 
     def dollars_per_million_tokens(
             self,

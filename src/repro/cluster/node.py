@@ -55,6 +55,7 @@ from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.cluster.admission import AdmissionScheduler
 from repro.engine.backend import ExecutionBackend
 from repro.engine.inference import DEFAULT_ENGINE_CONFIG, EngineConfig
 from repro.hardware.platform import Platform
@@ -108,6 +109,12 @@ class ReplicaNode:
         collect_gaps: Record per-iteration inter-token gaps (coalesced
             runs are expanded back into individual gaps). Off by default
             — a million-request fleet run should not grow an unused list.
+        admission: Queue-ordering policy
+            (:class:`~repro.cluster.admission.AdmissionScheduler`);
+            ``None`` keeps the built-in FCFS loop untouched. Must be a
+            fresh per-node instance (schedulers carry per-tenant service
+            counters) and work-conserving — fast-forward coalescing
+            assumes a ready request plus a free slot always admits.
     """
 
     def __init__(self, name: str, platform: Optional[Platform] = None,
@@ -117,7 +124,8 @@ class ReplicaNode:
                  simulator: Optional[BatchingSimulator] = None,
                  tracer: Tracer = NOOP_TRACER,
                  exact: Union[bool, str] = False,
-                 collect_gaps: bool = False):
+                 collect_gaps: bool = False,
+                 admission: Optional[AdmissionScheduler] = None):
         if simulator is None:
             if platform is None or model is None:
                 raise ValueError("ReplicaNode needs platform+model or a "
@@ -128,6 +136,7 @@ class ReplicaNode:
         self.tracer = tracer
         self.exact = exact
         self.collect_gaps = collect_gaps
+        self.admission = admission
         self._track = replica_track(name)
         self._sim = simulator
         self._cost = simulator.cost_table
@@ -169,6 +178,11 @@ class ReplicaNode:
     def max_batch(self) -> int:
         """Maximum concurrent sequences."""
         return self._sim.max_batch
+
+    @property
+    def scheduler_name(self) -> str:
+        """Admission policy spelling ("fcfs" for the built-in loop)."""
+        return self.admission.name if self.admission is not None else "fcfs"
 
     # -- routing-facing state -------------------------------------------------
 
@@ -265,6 +279,8 @@ class ReplicaNode:
         keys = [q.ready_s for q in self.pending]
         self.pending.insert(bisect.bisect_right(keys, entry.ready_s), entry)
         self.peak_queue = max(self.peak_queue, len(self.pending))
+        if self.admission is not None:
+            self.admission.on_arrival(request, entry.ready_s)
 
     def next_event_time(self) -> Optional[float]:
         """Start time of the next scheduler iteration; None while idle."""
@@ -273,6 +289,23 @@ class ReplicaNode:
         if self.pending:
             return max(self.clock, self.pending[0].ready_s)
         return None
+
+    def _pop_admission(self) -> Optional[_QueuedRequest]:
+        """Remove and return the next request to admit, or ``None``.
+
+        Only called when the head of the (readiness-sorted) queue is
+        ready and a slot is free, so the built-in FCFS path is exactly
+        the legacy ``pending.pop(0)``. With a scheduler attached, the
+        scheduler chooses among the ready prefix; ``None`` from a
+        (contract-violating, non-work-conserving) scheduler falls back
+        to admitting nothing this iteration.
+        """
+        if self.admission is None:
+            return self.pending.pop(0)
+        index = self.admission.pick(self.pending, self.clock)
+        if index is None:
+            return None
+        return self.pending.pop(index)
 
     def advance(self, now: Optional[float] = None) -> List[CompletedRequest]:
         """Run one scheduler iteration; return requests completed by it.
@@ -293,10 +326,14 @@ class ReplicaNode:
         admitted = 0
         while (self.pending and len(self.running) < self.max_batch
                and self.pending[0].ready_s <= self.clock):
+            queued = self._pop_admission()
+            if queued is None:
+                break
             admitted += 1
-            queued = self.pending.pop(0)
             request = queued.request
             start_s = self.clock
+            if self.admission is not None:
+                self.admission.on_admit(request, start_s)
             prefill = self._prefill_cost(request.input_len)
             self.clock += prefill
             self.busy_s += prefill
@@ -343,6 +380,8 @@ class ReplicaNode:
             self.completed.append(record)
             completed_now.append(record)
             self.generated_tokens += seq.request.output_len
+            if self.admission is not None:
+                self.admission.on_finish(seq.request)
             if tracer.enabled:
                 track = request_track(seq.request.request_id)
                 if self.clock > seq.last_event_s:

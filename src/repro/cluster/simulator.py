@@ -334,6 +334,7 @@ class ClusterSimulator:
                 peak_queue=node.peak_queue,
                 failed=node.name in failed_names,
                 drained=node.draining and node.name not in failed_names,
+                scheduler=node.scheduler_name,
             )
             for node in self.nodes
         ]

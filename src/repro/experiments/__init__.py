@@ -10,6 +10,7 @@ from repro.experiments import (  # noqa: F401
     ext_backends,
     ext_cluster,
     ext_disagg_tenancy,
+    ext_fairness,
     ext_future,
     ext_kernels_cache,
     ext_memory_decode,

@@ -334,7 +334,8 @@ class BatchingSimulator:
 
     def run_continuous(self, arrivals: Sequence[ArrivingRequest],
                        tracer: Tracer = NOOP_TRACER,
-                       exact: bool = False) -> ServingReport:
+                       exact: bool = False,
+                       admission=None) -> ServingReport:
         """Orca-style iteration-level scheduling with immediate admission.
 
         Each scheduler iteration admits everything that has arrived, up
@@ -355,13 +356,18 @@ class BatchingSimulator:
         every iteration individually (the two agree to ≤1e-9 relative).
         With a recording *tracer*, the node emits request-lifecycle and
         replica iteration spans (track ``replica/single``).
+
+        *admission* plugs a queue-ordering policy
+        (:class:`repro.cluster.admission.AdmissionScheduler`) into the
+        node; ``None`` keeps the built-in FCFS loop.
         """
         # Imported here: the cluster layer sits above serving, and only
         # this whole-trace convenience wrapper reaches up into it.
         from repro.cluster.node import ReplicaNode
 
         node = ReplicaNode("single", simulator=self, tracer=tracer,
-                           exact=exact, collect_gaps=True)
+                           exact=exact, collect_gaps=True,
+                           admission=admission)
         for request in sorted(arrivals, key=lambda r: r.arrival_s):
             node.advance_to(request.arrival_s)
             node.submit(request)

@@ -44,3 +44,30 @@ def mean(values: Sequence[float]) -> float:
             "completed zero requests; check the report before reading "
             "latency statistics")
     return sum(values) / len(values)
+
+
+def jain_index(values: Sequence[float]) -> float:
+    """Jain's fairness index of a non-empty allocation vector.
+
+    ``J = (sum x_i)^2 / (n * sum x_i^2)``, the standard fairness figure
+    of merit: 1.0 when every party receives the same allocation, and
+    ``1/n`` when one party receives everything. Negative allocations are
+    rejected (service received cannot be negative); an all-zero vector
+    is perfectly equal — everyone received nothing — and scores 1.0
+    rather than evaluating the indeterminate 0/0. An empty vector has no
+    fairness to speak of, so, per this module's never-empty convention,
+    it raises rather than guessing.
+    """
+    if not values:
+        raise ValueError(
+            "jain_index() of an empty sequence is undefined — no tenants "
+            "received (or were denied) service; check the report before "
+            "reading fairness statistics")
+    for value in values:
+        if value < 0:
+            raise ValueError(f"jain_index() allocations must be >= 0, "
+                             f"got {value!r}")
+    total = sum(values)
+    if total == 0.0:
+        return 1.0
+    return total * total / (len(values) * sum(v * v for v in values))

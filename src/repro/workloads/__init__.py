@@ -15,6 +15,19 @@ from repro.workloads.streams import (
     stream_trace_file,
     stream_workload,
 )
+from repro.workloads.tenancy import (
+    TenantRequest,
+    TenantStream,
+    TenantWorkloadSpec,
+    iter_tenant_arrivals,
+    zipf_shares,
+)
+from repro.workloads.throttling import (
+    ThrottleConfig,
+    ThrottleDecision,
+    admitted_requests,
+    throttle_decisions,
+)
 from repro.workloads.traces import (
     Trace,
     load_trace,
@@ -27,14 +40,23 @@ __all__ = [
     "PRESET_WORKLOADS",
     "ServingStats",
     "ShardableStream",
+    "TenantRequest",
+    "TenantStream",
+    "TenantWorkloadSpec",
+    "ThrottleConfig",
+    "ThrottleDecision",
     "Trace",
     "WorkloadSpec",
+    "admitted_requests",
+    "iter_tenant_arrivals",
     "load_trace",
     "merge_traces",
     "save_trace",
     "stream_trace_file",
     "stream_workload",
     "synthesize_trace",
+    "throttle_decisions",
+    "zipf_shares",
     "batch_analytics_workload",
     "chatbot_workload",
     "generate_requests",
