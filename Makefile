@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-cluster bench-fairness bench-figures bench-json trace
+.PHONY: test bench bench-cluster bench-fairness bench-tiering bench-figures bench-json trace
 
 # Tier-1 test suite (must stay green).
 test:
@@ -26,6 +26,9 @@ bench-cluster:
 # into BENCH_cluster.json under the "fairness" key.
 bench-fairness:
 	$(PYTHON) tools/bench.py --suite fairness
+
+bench-tiering:
+	$(PYTHON) tools/bench.py --suite tiering
 
 bench-json: bench
 

@@ -11,7 +11,8 @@ Prices are processor listing prices (USD, 2023-2024 era), the same proxy
 the paper uses — not full-system TCO.
 """
 
-from typing import Dict
+import warnings
+from typing import Dict, Optional, Set
 
 from repro.core.runner import RunResult
 from repro.utils.validation import require_positive
@@ -33,6 +34,49 @@ def list_price(platform_name: str) -> float:
         raise KeyError(f"no listing price recorded for {platform_name!r}; "
                        f"known: {sorted(LIST_PRICE_USD)}")
     return LIST_PRICE_USD[platform_name]
+
+
+def median_list_price() -> float:
+    """The median recorded listing price — the unknown-device stopgap."""
+    prices = sorted(LIST_PRICE_USD.values())
+    return prices[len(prices) // 2]
+
+
+#: Platforms we already warned about pricing at the median, so a
+#: million-request run warns once, not once per routing decision.
+_WARNED_UNPRICED: Set[str] = set()
+
+
+def reset_price_warnings() -> None:
+    """Forget which unknown platforms were warned about (test hook)."""
+    _WARNED_UNPRICED.clear()
+
+
+def price_rate(platform_name: str,
+               override: Optional[float] = None) -> float:
+    """Listing-price proxy with an explicit override and a loud fallback.
+
+    *override* (a :class:`~repro.cluster.config.ReplicaSpec`
+    ``price_usd`` or :class:`~repro.cluster.metrics.NodeStats`
+    ``price_usd``) wins when set; otherwise the recorded listing price.
+    Unknown platforms fall back to :func:`median_list_price` — but emit
+    a one-time :class:`UserWarning` naming the platform, because a
+    silently median-priced device skews every cost-aware routing
+    decision and $/Mtok figure that touches it.
+    """
+    if override is not None:
+        return override
+    try:
+        return list_price(platform_name)
+    except KeyError:
+        if platform_name not in _WARNED_UNPRICED:
+            _WARNED_UNPRICED.add(platform_name)
+            warnings.warn(
+                f"no listing price recorded for platform {platform_name!r}; "
+                f"pricing it at the median (${median_list_price():,.0f}). "
+                "Set ReplicaSpec(price_usd=...) to pin the real price.",
+                UserWarning, stacklevel=2)
+        return median_list_price()
 
 
 def throughput_per_kilodollar(result: RunResult) -> float:

@@ -103,14 +103,36 @@ def _cmd_roofline(args: argparse.Namespace) -> int:
     return 0
 
 
-def _build_fleet(args: argparse.Namespace, model) -> list:
+def _build_models(args: argparse.Namespace, replicas: int) -> list:
+    """Per-replica models from ``--models`` / ``--model``.
+
+    ``--models`` mirrors ``--backend``: one key broadcasts to every
+    replica, otherwise the comma-separated list must match
+    ``--platforms`` one-for-one — validated here with a clear error
+    instead of a downstream IndexError.
+    """
+    spec = getattr(args, "models", None) or getattr(args, "model", None)
+    if not spec:
+        raise ValueError("pass --model KEY or --models KEY[,KEY...]")
+    keys = spec.split(",")
+    if len(keys) == 1:
+        keys = keys * replicas
+    if len(keys) != replicas:
+        raise ValueError(
+            f"--models lists {len(keys)} models but --platforms lists "
+            f"{replicas} replicas (give one model, or one per replica)")
+    return [get_model(key) for key in keys]
+
+
+def _build_fleet(args: argparse.Namespace, models) -> list:
     from repro.cluster import ReplicaNode, make_scheduler
 
     keys = args.platforms.split(",")
     backends = _build_backends(args, len(keys))
     scheduler = getattr(args, "scheduler", None)
     nodes = []
-    for index, (key, backend) in enumerate(zip(keys, backends)):
+    for index, (key, model, backend) in enumerate(zip(keys, models,
+                                                      backends)):
         name = f"{key}-{index}"
         if backend is not None:
             name = f"{key}-{backend.label}-{index}"
@@ -156,6 +178,39 @@ def _tenant_stream(args: argparse.Namespace):
                         throttle=_throttle_config(args))
 
 
+def _class_stream(args: argparse.Namespace):
+    """The ``--classes``/``--class-mix`` workload, or ``None``.
+
+    ``--class-mix simple:0.5,reasoning:0.5`` weights the classes;
+    ``--classes simple,reasoning`` mixes them equally. ``--router
+    tiered`` without either uses the stock mix — the tiered router
+    needs a classified workload to route.
+    """
+    from repro.workloads import ClassMixStream, parse_class_mix
+
+    mix_text = getattr(args, "class_mix", None)
+    classes_text = getattr(args, "classes", None)
+    if mix_text and classes_text:
+        raise ValueError("pass --classes or --class-mix, not both")
+    text = mix_text or classes_text
+    if text is None:
+        if getattr(args, "router", None) != "tiered":
+            return None
+        mix = None  # stock DEFAULT_CLASS_MIX
+    else:
+        mix = parse_class_mix(text)
+    if getattr(args, "tenants", None) is not None:
+        raise ValueError("--classes/--class-mix and --tenants are separate "
+                         "workloads; pick one")
+    count = args.requests
+    if count is None and args.duration is None:
+        count = 32
+    kwargs = {} if mix is None else {"mix": mix}
+    return ClassMixStream(rate_per_s=args.rate, count=count,
+                          duration_s=args.duration, seed=args.seed,
+                          **kwargs)
+
+
 def _build_backends(args: argparse.Namespace, replicas: int) -> list:
     """Per-replica execution backends from ``--backend`` (or all-None).
 
@@ -177,30 +232,37 @@ def _build_backends(args: argparse.Namespace, replicas: int) -> list:
     return [parse_backend(item) for item in specs]
 
 
-def _router_factory(args: argparse.Namespace, slo):
+def _router_factory(args: argparse.Namespace, slo, classifier=None):
     """Zero-arg factory for the ``--router`` policy.
 
     A factory rather than an instance so the sharded path can build one
     independent policy per replica group (``ShardRouter`` wraps the
-    chosen policy as its per-group local).
+    chosen policy as its per-group local). ``tiered`` needs the
+    workload's *classifier* — the deterministic request→class hook the
+    class-mix stream generated shapes with.
     """
     from repro.cluster import (
         JoinShortestQueueRouter,
         LeastOutstandingTokensRouter,
         PhaseAwareRouter,
         RoundRobinRouter,
+        TieredRouter,
     )
 
+    if args.router == "tiered" and classifier is None:
+        raise ValueError("--router tiered needs a classified workload "
+                         "(--classes / --class-mix)")
     return {
         "round_robin": lambda: RoundRobinRouter(),
         "jsq": lambda: JoinShortestQueueRouter(),
         "least_tokens": lambda: LeastOutstandingTokensRouter(),
         "phase_aware": lambda: PhaseAwareRouter(slo=slo),
+        "tiered": lambda: TieredRouter(classifier),
     }[args.router]
 
 
-def _build_router(args: argparse.Namespace, slo):
-    return _router_factory(args, slo)()
+def _build_router(args: argparse.Namespace, slo, classifier=None):
+    return _router_factory(args, slo, classifier)()
 
 
 def _build_arrivals(args: argparse.Namespace) -> list:
@@ -260,13 +322,14 @@ def _trace_destination(path: str) -> Optional[pathlib.Path]:
     return destination
 
 
-def _run_sharded_cluster(args: argparse.Namespace, model, slo, shards: int,
-                         progress):
+def _run_sharded_cluster(args: argparse.Namespace, models, slo, shards: int,
+                         progress, class_stream=None):
     """The ``--workers``/``--shards`` cluster path: sharded simulation.
 
     Builds the fleet as a :class:`~repro.cluster.config.ClusterConfig`
-    (worker processes rebuild replicas from pickled specs), wraps the
-    ``--router`` policy as the per-group local inside a
+    (worker processes rebuild replicas from pickled specs; mixed-model
+    fleets warm disjoint cost tables), wraps the ``--router`` policy as
+    the per-group local inside a
     :class:`~repro.cluster.router.ShardRouter`, and ships the workload
     as a splittable stream spec so each worker regenerates only its own
     arrival slice. Returns ``(report, make_arrivals)``.
@@ -285,9 +348,13 @@ def _run_sharded_cluster(args: argparse.Namespace, model, slo, shards: int,
         ReplicaSpec(get_platform(key), model, count=1, backend=backend,
                     max_batch=args.batch,
                     scheduler=getattr(args, "scheduler", None))
-        for key, backend in zip(keys, backends)])
-    router = ShardRouter(shards, local=_router_factory(args, slo))
-    stream = _tenant_stream(args)
+        for key, model, backend in zip(keys, models, backends)])
+    classifier = (class_stream.classifier()
+                  if class_stream is not None else None)
+    router = ShardRouter(shards, local=_router_factory(args, slo,
+                                                       classifier))
+    stream = class_stream if class_stream is not None \
+        else _tenant_stream(args)
     if stream is None:
         count = args.requests
         if count is None and args.duration is None:
@@ -325,7 +392,6 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         if destination is None:
             return 2
         tracer = RecordingTracer()
-    model = get_model(args.model)
     slo = SLO(ttft_s=args.ttft, tpot_s=args.tpot)
     progress = None
     if args.progress or sys.stderr.isatty():
@@ -333,44 +399,83 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
 
         progress = _progress_line(time.perf_counter())
     try:
+        models = _build_models(args, len(args.platforms.split(",")))
+        class_stream = _class_stream(args)
         tenant_stream = _tenant_stream(args)
-    except ValueError as error:
+    except (KeyError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     if sharded:
         try:
             report, make_arrivals = _run_sharded_cluster(
-                args, model, slo, shards, progress)
+                args, models, slo, shards, progress,
+                class_stream=class_stream)
         except (TypeError, ValueError) as error:
             print(f"\nerror: {error}", file=sys.stderr)
             return 2
     else:
         try:
-            nodes = _build_fleet(args, model)
+            nodes = _build_fleet(args, models)
+            classifier = (class_stream.classifier()
+                          if class_stream is not None else None)
+            router = _build_router(args, slo, classifier)
         except ValueError as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
-        make_arrivals = (tenant_stream.full if tenant_stream is not None
+        make_arrivals = (class_stream.full
+                         if class_stream is not None
+                         else tenant_stream.full
+                         if tenant_stream is not None
                          else _arrival_factory(args))
-        report = ClusterSimulator(nodes, _build_router(args, slo),
+        report = ClusterSimulator(nodes, router,
                                   tracer=tracer,
                                   exact=args.exact).run(make_arrivals(),
                                                         progress=progress)
     if progress is not None:
         print(file=sys.stderr)
-    rows = [[s.name, s.platform, s.completed, s.utilization,
+    model_names = sorted({model.name for model in models})
+    rows = [[s.name, s.platform, s.model, s.completed, s.utilization,
              s.peak_queue] for s in report.node_stats]
     print(format_table(
-        ["replica", "platform", "completed", "utilization", "peak queue"],
+        ["replica", "platform", "model", "completed", "utilization",
+         "peak queue"],
         rows,
-        title=f"{model.name} x {len(report.node_stats)} replicas, "
-              f"router={report.router}, {len(report.completed)} requests"))
+        title=f"{' + '.join(model_names)} x {len(report.node_stats)} "
+              f"replicas, router={report.router}, "
+              f"{len(report.completed)} requests"))
     # Scoring regenerates the deterministic stream instead of holding it.
     print(f"\nthroughput: {report.throughput:.1f} tok/s   "
           f"mean TTFT: {report.mean_ttft_s * 1000:.0f} ms   "
           f"attainment: {report.attainment(make_arrivals(), slo):.0%}   "
           f"goodput: {report.goodput(make_arrivals(), slo):.1f} tok/s   "
           f"$/Mtok: {report.dollars_per_million_tokens():.2f}")
+    if class_stream is not None:
+        tiering = report.tiering(make_arrivals(),
+                                 class_stream.classifier())
+        class_rows = [
+            [c.name, c.completed, f"{c.attainment:.0%}",
+             f"{c.goodput:.1f}", f"{c.mean_ttft_s * 1000:.0f}",
+             c.spills, c.fallbacks]
+            for c in tiering.classes]
+        print()
+        print(format_table(
+            ["class", "completed", "attainment", "goodput",
+             "mean TTFT ms", "spills", "fallbacks"],
+            class_rows, title="per-class (each scored on its own SLO)"))
+        tier_rows = [
+            [t.label, t.replicas, t.generated_tokens,
+             f"{t.utilization:.0%}",
+             "-" if t.generated_tokens == 0
+             else f"{t.dollars_per_mtok:.2f}"]
+            for t in tiering.tiers]
+        print()
+        print(format_table(
+            ["tier", "replicas", "tokens", "utilization", "$/Mtok"],
+            tier_rows, title="per-tier"))
+        print(f"\nclass-SLO attainment: {tiering.attainment:.0%}   "
+              f"class goodput: {tiering.goodput:.1f} tok/s   "
+              f"spills: {tiering.spills}   "
+              f"fallbacks: {tiering.fallbacks}")
     if tenant_stream is not None:
         fairness = report.fairness(tenant_stream.decisions(), slo=slo)
         tenant_rows = [
@@ -412,8 +517,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         destination = _trace_destination(args.out)
         if destination is None:
             return 2
-    model = get_model(args.model)
-    nodes = _build_fleet(args, model)
+    models = _build_models(args, len(args.platforms.split(",")))
+    nodes = _build_fleet(args, models)
     slo = SLO(ttft_s=args.ttft, tpot_s=args.tpot)
     arrivals = _build_arrivals(args)
     events = []
@@ -559,10 +664,24 @@ def build_parser() -> argparse.ArgumentParser:
     cluster_parser.add_argument("--platforms", required=True,
                                 help="comma-separated replica platforms "
                                      "(one replica each, e.g. spr,spr,h100)")
-    cluster_parser.add_argument("--model", required=True)
+    cluster_parser.add_argument("--model", default=None,
+                                help="model served by every replica")
+    cluster_parser.add_argument("--models", default=None,
+                                help="per-replica models: one key "
+                                     "broadcasts, or a comma-separated "
+                                     "list matching --platforms (e.g. "
+                                     "llama2-7b,llama2-7b,llama2-13b)")
     cluster_parser.add_argument("--router", default="phase_aware",
                                 choices=["round_robin", "jsq",
-                                         "least_tokens", "phase_aware"])
+                                         "least_tokens", "phase_aware",
+                                         "tiered"])
+    cluster_parser.add_argument("--classes", default=None,
+                                help="equal-share request-class mix "
+                                     "(e.g. simple,standard,reasoning)")
+    cluster_parser.add_argument("--class-mix", default=None,
+                                help="weighted request-class mix (e.g. "
+                                     "simple:0.5,standard:0.35,"
+                                     "reasoning:0.15)")
     cluster_parser.add_argument("--rate", type=float, default=1.0,
                                 help="arrival rate, requests/s")
     cluster_parser.add_argument("--burst-rate", type=float, default=None,

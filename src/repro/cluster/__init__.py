@@ -39,11 +39,20 @@ from repro.cluster.router import (
 )
 from repro.cluster.shard import run_sharded, warm_caches
 from repro.cluster.simulator import ClusterSimulator, NodeDrain, NodeFailure
+from repro.cluster.tiering import (
+    ClassStats,
+    TieredRouter,
+    TieringReport,
+    TierStats,
+    tier_label,
+    tiering_report,
+)
 
 __all__ = [
     "AdmissionScheduler",
     "Autoscaler",
     "ClusterConfig",
+    "ClassStats",
     "ClusterEvent",
     "ClusterReport",
     "ClusterSimulator",
@@ -62,10 +71,15 @@ __all__ = [
     "Router",
     "ShardRouter",
     "TenantStats",
+    "TierStats",
+    "TieredRouter",
+    "TieringReport",
     "VirtualTokenCounterScheduler",
     "WeightedServiceCounterScheduler",
     "fairness_report",
     "make_scheduler",
     "run_sharded",
+    "tier_label",
+    "tiering_report",
     "warm_caches",
 ]

@@ -46,6 +46,11 @@ class ReplicaSpec:
         scheduler_weights: Per-tenant ``(user_id, weight)`` pairs for
             ``scheduler="wsc"``; a tuple-of-pairs (not a dict) so the
             spec stays hashable/frozen.
+        price_usd: Listing-price override per replica. ``None`` means
+            look the platform up in
+            :data:`repro.analysis.cost.LIST_PRICE_USD`; unknown
+            platforms then price at the median with a one-time warning,
+            so fleets on unlisted hardware should set this explicitly.
     """
 
     platform: Platform
@@ -57,9 +62,12 @@ class ReplicaSpec:
     name: Optional[str] = None
     scheduler: Optional[str] = None
     scheduler_weights: Optional[Tuple[Tuple[int, float], ...]] = None
+    price_usd: Optional[float] = None
 
     def __post_init__(self) -> None:
         require_positive(self.count, "count")
+        if self.price_usd is not None:
+            require_positive(self.price_usd, "price_usd")
         # Validate the spelling eagerly (build-time instances are fresh
         # per node; this throwaway one just checks the name).
         make_scheduler(self.scheduler, dict(self.scheduler_weights or ()))
@@ -111,7 +119,8 @@ class ClusterConfig:
                     f"{spec.base_name}-{index}", spec.platform, spec.model,
                     spec.max_batch, spec.config, spec.backend,
                     tracer=tracer, exact=exact,
-                    admission=spec.make_admission()))
+                    admission=spec.make_admission(),
+                    price_usd=spec.price_usd))
                 index += 1
         return fleet
 
@@ -148,5 +157,6 @@ class ClusterConfig:
                 f"{spec.base_name}-{index}", spec.platform, spec.model,
                 spec.max_batch, spec.config, spec.backend,
                 tracer=tracer, exact=exact,
-                admission=spec.make_admission()))
+                admission=spec.make_admission(),
+                price_usd=spec.price_usd))
         return subset

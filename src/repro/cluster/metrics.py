@@ -9,9 +9,9 @@ the fleet outcome so :func:`repro.serving.slo.attainment` and
 """
 
 import dataclasses
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from repro.analysis.cost import LIST_PRICE_USD, list_price
+from repro.analysis.cost import price_rate
 from repro.cluster.events import ClusterEvent
 from repro.serving.arrivals import ArrivingRequest
 from repro.serving.scheduler import CompletedRequest, ServingReport
@@ -41,6 +41,12 @@ class NodeStats:
         failed / drained: Lifecycle outcome flags.
         scheduler: Admission policy the replica ran ("fcfs" when none
             was configured — the built-in loop).
+        model: Served model's display name ("" for legacy reports built
+            before fleets mixed models).
+        backend: Execution-backend label ("bf16" is the plain default).
+        price_usd: Per-replica listing-price override
+            (:class:`~repro.cluster.config.ReplicaSpec` ``price_usd``);
+            ``None`` defers to the platform's recorded listing price.
     """
 
     name: str
@@ -54,6 +60,14 @@ class NodeStats:
     failed: bool = False
     drained: bool = False
     scheduler: str = "fcfs"
+    model: str = ""
+    backend: str = "bf16"
+    price_usd: Optional[float] = None
+
+    @property
+    def tier(self) -> Tuple[str, str, str]:
+        """The (model, platform, backend) triple — the replica's tier."""
+        return (self.model, self.platform, self.backend)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -73,6 +87,12 @@ class ClusterReport:
         cluster_events: Structured log of failures, drains, and scalings
             (:class:`~repro.cluster.events.ClusterEvent`); the legacy
             string view is the :attr:`events` property.
+        router_counters: Integer decision counters snapshotted from the
+            routing policy (:meth:`repro.cluster.router.Router.counters`)
+            — e.g. the tiered router's per-class routed/spill/fallback
+            counts. Empty for policies that report none; sharded runs
+            merge per-group counters by summation, so the counts are
+            bit-identical for any worker count.
 
     ``completed`` is never empty: both runners raise ``ValueError`` on
     an empty arrival stream and the event loop refuses to lose requests,
@@ -91,6 +111,8 @@ class ClusterReport:
     queue_depth_timeline: List[Tuple[float, int]]
     cluster_events: List[ClusterEvent] = dataclasses.field(
         default_factory=list)
+    router_counters: Dict[str, int] = dataclasses.field(
+        default_factory=dict)
 
     @property
     def events(self) -> List[str]:
@@ -113,15 +135,15 @@ class ClusterReport:
 
     @property
     def fleet_price_usd(self) -> float:
-        """Listing-price total over every replica ever provisioned."""
-        total = 0.0
-        for stats in self.node_stats:
-            try:
-                total += list_price(stats.platform)
-            except KeyError:
-                prices = sorted(LIST_PRICE_USD.values())
-                total += prices[len(prices) // 2]
-        return total
+        """Listing-price total over every replica ever provisioned.
+
+        Per-replica ``price_usd`` overrides win; otherwise the
+        platform's recorded listing price, with unknown platforms
+        priced at the median under a one-time warning
+        (:func:`repro.analysis.cost.price_rate`).
+        """
+        return sum(price_rate(stats.platform, stats.price_usd)
+                   for stats in self.node_stats)
 
     def to_serving_report(self) -> ServingReport:
         """Adapt to :class:`ServingReport` for the SLO machinery."""
@@ -156,6 +178,22 @@ class ClusterReport:
         return fairness_report(decisions, self.completed, slo=slo,
                                weights=weights, cutoff_s=cutoff_s,
                                abandoned_ttft_s=abandoned_ttft_s)
+
+    def tiering(self, arrivals, classifier, classes=None,
+                amortization_years: float = DEFAULT_AMORTIZATION_YEARS):
+        """Per-class / per-tier breakdown of this run (see
+        :func:`repro.cluster.tiering.tiering_report`).
+
+        *classifier* is the deterministic class hook the workload and
+        router agreed on (typically
+        :meth:`repro.workloads.classes.ClassMixStream.classifier`);
+        *arrivals* regenerates the request shapes the per-class SLO
+        scoring needs. Imported lazily so class-free runs never touch
+        the tiering subsystem.
+        """
+        from repro.cluster.tiering import tiering_report
+        return tiering_report(self, arrivals, classifier, classes=classes,
+                              amortization_years=amortization_years)
 
     def dollars_per_million_tokens(
             self,

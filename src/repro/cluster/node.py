@@ -115,6 +115,10 @@ class ReplicaNode:
             fresh per-node instance (schedulers carry per-tenant service
             counters) and work-conserving — fast-forward coalescing
             assumes a ready request plus a free slot always admits.
+        price_usd: Listing-price override for cost-aware routing and
+            fleet $/Mtok accounting; ``None`` looks the platform up in
+            :data:`repro.analysis.cost.LIST_PRICE_USD` (median fallback
+            with a one-time warning for unknown devices).
     """
 
     def __init__(self, name: str, platform: Optional[Platform] = None,
@@ -125,7 +129,8 @@ class ReplicaNode:
                  tracer: Tracer = NOOP_TRACER,
                  exact: Union[bool, str] = False,
                  collect_gaps: bool = False,
-                 admission: Optional[AdmissionScheduler] = None):
+                 admission: Optional[AdmissionScheduler] = None,
+                 price_usd: Optional[float] = None):
         if simulator is None:
             if platform is None or model is None:
                 raise ValueError("ReplicaNode needs platform+model or a "
@@ -137,6 +142,7 @@ class ReplicaNode:
         self.exact = exact
         self.collect_gaps = collect_gaps
         self.admission = admission
+        self.price_usd = price_usd
         self._track = replica_track(name)
         self._sim = simulator
         self._cost = simulator.cost_table
@@ -178,6 +184,21 @@ class ReplicaNode:
     def max_batch(self) -> int:
         """Maximum concurrent sequences."""
         return self._sim.max_batch
+
+    @property
+    def backend_label(self) -> str:
+        """Execution-backend label ("bf16" for the plain default)."""
+        backend = getattr(self._sim, "backend", None)
+        return backend.label if backend is not None else "bf16"
+
+    @property
+    def tier(self) -> Tuple[str, str, str]:
+        """The (model, platform, backend) triple this replica serves.
+
+        Two replicas with equal tiers are interchangeable to the tiered
+        router: same cost table, same capability, same price class.
+        """
+        return (self.model.name, self.platform.name, self.backend_label)
 
     @property
     def scheduler_name(self) -> str:

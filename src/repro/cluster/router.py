@@ -30,9 +30,9 @@ event loop calls it once per request at its arrival time. Policies:
 """
 
 import math
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.analysis.cost import LIST_PRICE_USD, list_price
+from repro.analysis.cost import price_rate
 from repro.optim.disaggregation import phase_affinity
 from repro.cluster.node import ReplicaNode
 from repro.serving.arrivals import ArrivingRequest
@@ -56,6 +56,20 @@ class Router:
                nodes: Sequence[ReplicaNode], now: float) -> ReplicaNode:
         """Choose the replica that will serve *request*."""
         raise NotImplementedError
+
+    def counters(self) -> Dict[str, int]:
+        """Integer decision counters this policy accumulated.
+
+        Stateless policies report nothing. Policies that make
+        *classified* decisions (:class:`repro.cluster.tiering.
+        TieredRouter`'s routed/spill/fallback counts) report them here;
+        the event loop snapshots the dict into
+        :attr:`~repro.cluster.metrics.ClusterReport.router_counters`,
+        and the sharded merge sums per-group counters — integer sums
+        are order-free, so the merged counts are bit-identical for any
+        worker count.
+        """
+        return {}
 
 
 class RoundRobinRouter(Router):
@@ -166,6 +180,14 @@ class ShardRouter(Router):
                    range(group, len(nodes), self.num_groups)]
         return self.locals[group].select(request, members, now)
 
+    def counters(self) -> Dict[str, int]:
+        """Sum of the per-group locals' counters (order-free)."""
+        total: Dict[str, int] = {}
+        for local in self.locals:
+            for key, value in local.counters().items():
+                total[key] = total.get(key, 0) + value
+        return total
+
 
 class PhaseAwareRouter(Router):
     """Cost/SLO-aware routing for heterogeneous fleets.
@@ -212,12 +234,16 @@ class PhaseAwareRouter(Router):
 
     @staticmethod
     def _price_rate(node: ReplicaNode) -> float:
-        """Listing-price proxy; unknown devices priced at the median."""
-        try:
-            return list_price(node.platform.name)
-        except KeyError:
-            prices = sorted(LIST_PRICE_USD.values())
-            return prices[len(prices) // 2]
+        """Listing-price proxy for *node*.
+
+        A :class:`~repro.cluster.config.ReplicaSpec` ``price_usd``
+        override wins; otherwise the platform's listing price. Unknown
+        platforms fall back to the median price *with a one-time
+        warning* (:func:`repro.analysis.cost.price_rate`) — a silently
+        mispriced device would quietly re-band every cost comparison.
+        """
+        return price_rate(node.platform.name,
+                          getattr(node, "price_usd", None))
 
     def select(self, request: ArrivingRequest,
                nodes: Sequence[ReplicaNode], now: float) -> ReplicaNode:

@@ -131,6 +131,9 @@ class _GroupResult:
     wasted_tokens: int
     requeued: int
     arrived: int
+    #: The group-local routing policy's integer decision counters
+    #: (e.g. tiered routed/spill/fallback counts); merged by summation.
+    counters: Dict[str, int] = dataclasses.field(default_factory=dict)
 
 
 #: Column layout for shipping CompletedRequest records between
@@ -176,14 +179,14 @@ def _pack_result(result: _GroupResult) -> tuple:
     return (result.group, result.indices, result.node_stats, completed_cols,
             dispatch_cols, admission_cols, result.events,
             result.generated_tokens, result.wasted_tokens, result.requeued,
-            result.arrived)
+            result.arrived, result.counters)
 
 
 def _unpack_result(payload: tuple) -> _GroupResult:
     """Rebuild a :class:`_GroupResult` from :func:`_pack_result` columns."""
     (group, indices, node_stats, completed_cols, dispatch_cols,
      admission_cols, events, generated_tokens, wasted_tokens, requeued,
-     arrived) = payload
+     arrived, counters) = payload
     completed_per_node = [
         [CompletedRequest(*row) for row in zip(*(col.tolist()
                                                  for col in cols))]
@@ -200,7 +203,7 @@ def _unpack_result(payload: tuple) -> _GroupResult:
                         dispatches=dispatches, admissions=admissions,
                         events=events, generated_tokens=generated_tokens,
                         wasted_tokens=wasted_tokens, requeued=requeued,
-                        arrived=arrived)
+                        arrived=arrived, counters=counters)
 
 
 def warm_caches(config: ClusterConfig, kv_horizon: int = 256) -> None:
@@ -324,6 +327,7 @@ def _run_group(config: ClusterConfig, router: ShardRouter, group: int,
         wasted_tokens=report.wasted_tokens,
         requeued=report.requeued_requests,
         arrived=len(report.completed),
+        counters=report.router_counters,
     )
 
 
@@ -427,6 +431,10 @@ def _merge_reports(results: List[_GroupResult], router_name: str,
     events = [event for _, event in heapq.merge(
         *[result.events for result in results],
         key=lambda pair: pair[0])]
+    counters: Dict[str, int] = {}
+    for result in results:
+        for counter_key, value in result.counters.items():
+            counters[counter_key] = counters.get(counter_key, 0) + value
     return ClusterReport(
         router=router_name,
         completed=completed,
@@ -437,6 +445,7 @@ def _merge_reports(results: List[_GroupResult], router_name: str,
         requeued_requests=sum(r.requeued for r in results),
         queue_depth_timeline=_merged_timeline(results),
         cluster_events=events,
+        router_counters=counters,
     )
 
 

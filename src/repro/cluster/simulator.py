@@ -335,6 +335,9 @@ class ClusterSimulator:
                 failed=node.name in failed_names,
                 drained=node.draining and node.name not in failed_names,
                 scheduler=node.scheduler_name,
+                model=node.model.name,
+                backend=node.backend_label,
+                price_usd=node.price_usd,
             )
             for node in self.nodes
         ]
@@ -349,4 +352,6 @@ class ClusterSimulator:
             requeued_requests=requeued,
             queue_depth_timeline=timeline,
             cluster_events=log,
+            router_counters=dict(getattr(self.router, "counters",
+                                         dict)()),
         )

@@ -19,6 +19,7 @@ from repro.experiments import (  # noqa: F401
     ext_pp_slo,
     ext_provisioning,
     ext_serving,
+    ext_tiering,
     ext_trace,
     fig01_gemm,
     fig06_model_footprint,

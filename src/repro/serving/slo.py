@@ -45,6 +45,16 @@ def _meets(record, request: ArrivingRequest, slo: SLO) -> bool:
     return record.ttft_s <= slo.ttft_s and tpot <= slo.tpot_s
 
 
+def meets(record, request: ArrivingRequest, slo: SLO) -> bool:
+    """Public single-request form of the SLO check.
+
+    Per-class scoring (:mod:`repro.cluster.tiering`) applies a
+    different SLO to each completed request, so the aggregate helpers
+    below don't fit; this is the one-record primitive they share.
+    """
+    return _meets(record, request, slo)
+
+
 def attainment(report: ServingReport, arrivals: List[ArrivingRequest],
                slo: SLO) -> float:
     """Fraction of requests meeting the SLO."""

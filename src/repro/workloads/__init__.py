@@ -1,5 +1,14 @@
 """Synthetic workload generation and serving estimation."""
 
+from repro.workloads.classes import (
+    DEFAULT_CLASS_MIX,
+    REQUEST_CLASSES,
+    ClassMixStream,
+    MixClassifier,
+    RequestClass,
+    iter_class_arrivals,
+    parse_class_mix,
+)
 from repro.workloads.generator import (
     PRESET_WORKLOADS,
     WorkloadSpec,
@@ -37,7 +46,12 @@ from repro.workloads.traces import (
 )
 
 __all__ = [
+    "DEFAULT_CLASS_MIX",
     "PRESET_WORKLOADS",
+    "REQUEST_CLASSES",
+    "ClassMixStream",
+    "MixClassifier",
+    "RequestClass",
     "ServingStats",
     "ShardableStream",
     "TenantRequest",
@@ -48,7 +62,9 @@ __all__ = [
     "Trace",
     "WorkloadSpec",
     "admitted_requests",
+    "iter_class_arrivals",
     "iter_tenant_arrivals",
+    "parse_class_mix",
     "load_trace",
     "merge_traces",
     "save_trace",

@@ -612,6 +612,95 @@ def bench_fairness(quick: bool, repeat: int) -> dict:
     }
 
 
+# Same operating point as ext_tiering: the 2x ICL-7B tier runs hot
+# enough to spill bursts upward while every class still clears its bar.
+TIERING_RATE_PER_S = 1.5
+
+
+def _tiering_run(count: int, fleet: str, exact: bool):
+    """One cold classified-workload run; returns (wall s, report, tiering)."""
+    from repro.cluster import (
+        ClusterConfig,
+        ClusterSimulator,
+        JoinShortestQueueRouter,
+        ReplicaSpec,
+        TieredRouter,
+        tiering_report,
+    )
+    from repro.workloads import ClassMixStream
+
+    clear_caches()
+    stream = ClassMixStream(rate_per_s=TIERING_RATE_PER_S, count=count,
+                            seed=CLUSTER_SEED)
+    if fleet == "tiered":
+        config = ClusterConfig([
+            ReplicaSpec(get_platform("icl"), get_model("llama2-7b"),
+                        count=2, max_batch=CLUSTER_MAX_BATCH),
+            ReplicaSpec(get_platform("spr"), get_model("llama2-13b"),
+                        count=2, max_batch=CLUSTER_MAX_BATCH),
+        ])
+        router = TieredRouter(stream.classifier())
+    else:
+        config = ClusterConfig([ReplicaSpec(
+            get_platform("spr"), get_model("llama2-13b"), count=4,
+            max_batch=CLUSTER_MAX_BATCH)])
+        router = JoinShortestQueueRouter()
+    simulator = ClusterSimulator(config.build_fleet(), router, exact=exact)
+    begin = time.perf_counter()
+    report = simulator.run(stream.full())
+    elapsed = time.perf_counter() - begin
+    return elapsed, report, tiering_report(report, stream.full(),
+                                           stream.classifier())
+
+
+def bench_tiering(quick: bool, repeat: int) -> dict:
+    """Tiered routing: fast-path parity and the $/Mtok claim.
+
+    Three legs over the identical classified stream: the tiered
+    heterogeneous fleet on the event-horizon fast path, the same fleet
+    stepped per iteration (``exact=True`` — the parity reference, so
+    mixed-model tier accounting inherits the cluster suite's 1e-9
+    contract), and the one-size 4x SPR-13B fleet the experiment
+    benchmarks against. Records the tiered-vs-one-size $/Mtok ratio at
+    their respective class-SLO attainments.
+    """
+    count = 600 if quick else 5_000
+    legs = (("tiered", False), ("tiered", True), ("onesize", False))
+    best = {}
+    results = {}
+    for _ in range(repeat):
+        for fleet, exact in legs:
+            key = f"{fleet}_{'exact' if exact else 'fast'}"
+            elapsed, report, tiering = _tiering_run(count, fleet, exact)
+            if key not in best or elapsed < best[key]:
+                best[key] = elapsed
+                results[key] = (report, tiering)
+    fast_report, fast_tiering = results["tiered_fast"]
+    exact_report, _ = results["tiered_exact"]
+    onesize_report, onesize_tiering = results["onesize_fast"]
+    return {
+        "requests": count,
+        "rate_per_s": TIERING_RATE_PER_S,
+        "max_batch": CLUSTER_MAX_BATCH,
+        "tiered_fast_s": best["tiered_fast"],
+        "tiered_exact_s": best["tiered_exact"],
+        "speedup": best["tiered_exact"] / best["tiered_fast"],
+        "requests_per_s": count / best["tiered_fast"],
+        "max_rel_err": _cluster_rel_err(exact_report, fast_report),
+        "counters_match": (fast_report.router_counters
+                           == exact_report.router_counters),
+        "tiered_fleet_usd": fast_report.fleet_price_usd,
+        "tiered_dollars_per_mtok": fast_tiering.dollars_per_mtok,
+        "tiered_attainment": fast_tiering.attainment,
+        "tiered_spills": fast_tiering.spills,
+        "onesize_fleet_usd": onesize_report.fleet_price_usd,
+        "onesize_dollars_per_mtok": onesize_tiering.dollars_per_mtok,
+        "onesize_attainment": onesize_tiering.attainment,
+        "dpm_ratio": (onesize_tiering.dollars_per_mtok
+                      / fast_tiering.dollars_per_mtok),
+    }
+
+
 def _print_cluster(cluster: dict) -> None:
     print(f"cluster ({cluster['requests']:,} requests, "
           f"{cluster['replicas']} replicas): "
@@ -653,6 +742,20 @@ def _print_fairness(fairness: dict) -> None:
           f"fcfs max rel err {fairness['fcfs_max_rel_err']:.2e}")
 
 
+def _print_tiering(tiering: dict) -> None:
+    print(f"tiering ({tiering['requests']:,} requests, "
+          f"rate {tiering['rate_per_s']}/s): "
+          f"exact {tiering['tiered_exact_s']:.1f}s, "
+          f"fast {tiering['tiered_fast_s']:.2f}s "
+          f"({tiering['speedup']:.1f}x), "
+          f"max rel err {tiering['max_rel_err']:.2e}; "
+          f"tiered {tiering['tiered_dollars_per_mtok']:.2f} $/Mtok "
+          f"@ att {tiering['tiered_attainment']:.3f} vs "
+          f"one-size {tiering['onesize_dollars_per_mtok']:.2f} "
+          f"@ att {tiering['onesize_attainment']:.3f} "
+          f"({tiering['dpm_ratio']:.2f}x)")
+
+
 def _print_exact_vectorized(vec: dict) -> None:
     print(f"vectorized exact ({vec['requests']:,} requests, "
           f"out {vec['output_len_range'][0]}-{vec['output_len_range'][1]}): "
@@ -664,7 +767,8 @@ def _print_exact_vectorized(vec: dict) -> None:
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--suite", choices=("sweep", "cluster", "fairness"),
+    parser.add_argument("--suite",
+                        choices=("sweep", "cluster", "fairness", "tiering"),
                         default="sweep",
                         help="benchmark suite to run (default: sweep)")
     parser.add_argument("--json", default=None,
@@ -678,19 +782,25 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.json:
         destination = args.json
-    elif args.suite == "fairness":
+    elif args.suite in ("fairness", "tiering"):
         destination = "BENCH_cluster.json"
     else:
         destination = f"BENCH_{args.suite}.json"
 
-    if args.suite == "fairness":
+    if args.suite in ("fairness", "tiering"):
         # Merge into the cluster report rather than replacing it: the
-        # fairness figures extend the same simulation-throughput record.
+        # fairness/tiering figures extend the same
+        # simulation-throughput record.
         report = {}
         if os.path.exists(destination):
             with open(destination) as fh:
                 report = json.load(fh)
-        report["fairness"] = bench_fairness(args.quick, min(args.repeat, 3))
+        if args.suite == "fairness":
+            report["fairness"] = bench_fairness(args.quick,
+                                                min(args.repeat, 3))
+        else:
+            report["tiering"] = bench_tiering(args.quick,
+                                              min(args.repeat, 3))
     elif args.suite == "cluster":
         report = {
             "benchmark": "cluster event-horizon fast-forward",
@@ -716,6 +826,8 @@ def main(argv=None) -> int:
 
     if args.suite == "fairness":
         _print_fairness(report["fairness"])
+    elif args.suite == "tiering":
+        _print_tiering(report["tiering"])
     elif args.suite == "cluster":
         _print_cluster(report["cluster"])
         _print_cluster_mixed(report["cluster_mixed"])
