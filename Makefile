@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-cluster bench-fairness bench-tiering bench-figures bench-json trace
+.PHONY: test bench bench-cluster bench-fairness bench-tiering bench-fluid bench-figures bench-json trace
 
 # Tier-1 test suite (must stay green).
 test:
@@ -29,6 +29,11 @@ bench-fairness:
 
 bench-tiering:
 	$(PYTHON) tools/bench.py --suite tiering
+
+# Fluid steady-state solver vs exact fast-forward on a 10-point
+# provisioning sweep; merges a "fluid" key into BENCH_cluster.json.
+bench-fluid:
+	$(PYTHON) tools/bench.py --suite fluid
 
 bench-json: bench
 

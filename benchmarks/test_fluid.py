@@ -1,0 +1,60 @@
+"""Bench: the fluid solver must stay instant and stay honest.
+
+The mean-field steady-state solver answers provisioning what-ifs
+analytically — no event loop at all — which is what makes wide sweep
+grids and the fleet advisor's outer loop free. This gate runs the quick
+variant of ``tools/bench.py --suite fluid`` (a 10-point provisioning
+sweep cross-checked against the exact simulator at 1.5k requests per
+point) and asserts the contract from both sides:
+
+* the whole sweep, solved cold (cost-table warmup included), beats the
+  simulated sweep by a generous floor — the full 20k-request record in
+  ``BENCH_cluster.json`` is far higher, and the warm per-point cost is
+  microseconds;
+* stable-regime throughput/goodput/$-per-Mtok stay inside a loose
+  envelope of the simulator (the full-scale record is ~0.2%; the quick
+  bound only catches a broken model, not sampling noise);
+* every overloaded point is *flagged* (the simulator's attainment
+  collapses there too) — the solver never extrapolates through
+  saturation.
+
+Run with::
+
+    pytest benchmarks/test_fluid.py --benchmark-only
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "tools"))
+
+import bench  # noqa: E402  (tools/bench.py)
+
+MIN_FLUID_SPEEDUP = 8.0
+MAX_STABLE_REL_ERR = 0.06
+
+
+def test_fluid_sweep_speed_and_envelope(benchmark):
+    result = {}
+
+    def run():
+        result.update(bench.bench_fluid(quick=True, repeat=1))
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    assert result["speedup"] >= MIN_FLUID_SPEEDUP, (
+        f"fluid solver regressed: {result['speedup']:.1f}x over the "
+        f"simulated sweep (floor {MIN_FLUID_SPEEDUP}x)")
+
+    stable = result["envelope"].get("stable")
+    assert stable is not None and stable["points"] >= 2, (
+        "the provisioning sweep no longer reaches the stable regime — "
+        "the operating point drifted")
+    for metric in ("throughput", "goodput", "dollars_per_mtok"):
+        assert stable[metric] <= MAX_STABLE_REL_ERR, (
+            f"stable-regime {metric} error {stable[metric]:.1%} exceeds "
+            f"{MAX_STABLE_REL_ERR:.0%} vs the exact simulator")
+
+    assert result["overload_flag_agrees"], (
+        "a fluid-overloaded point kept high simulated attainment — the "
+        "overload flag is lying")

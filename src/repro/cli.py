@@ -16,6 +16,7 @@ Usage::
 """
 
 import argparse
+import math
 import pathlib
 import sys
 from typing import List, Optional
@@ -70,7 +71,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                                   output_len=args.output,
                                   config=_engine_config(args))
     rows = []
-    for row in sweep.run():
+    for row in sweep.run(workers=args.workers, cache_dir=args.cache_dir):
         rows.append([row.model, row.platform, row.batch_size,
                      "off" if row.offloaded else "mem",
                      row.metrics["e2e_s"], row.metrics["e2e_throughput"]])
@@ -232,6 +233,100 @@ def _build_backends(args: argparse.Namespace, replicas: int) -> list:
     return [parse_backend(item) for item in specs]
 
 
+def _cluster_config(args: argparse.Namespace, models):
+    """The fleet as declarative specs (sharded + fluid paths).
+
+    Same replicas :func:`_build_fleet` instantiates, but as a
+    :class:`~repro.cluster.config.ClusterConfig` — worker processes
+    rebuild nodes from pickled specs, and the fluid solver groups
+    specs into tier stations without ever stepping a scheduler.
+    """
+    from repro.cluster import ClusterConfig, ReplicaSpec
+
+    keys = args.platforms.split(",")
+    backends = _build_backends(args, len(keys))
+    return ClusterConfig([
+        ReplicaSpec(get_platform(key), model, count=1, backend=backend,
+                    max_batch=args.batch,
+                    scheduler=getattr(args, "scheduler", None))
+        for key, model, backend in zip(keys, models, backends)])
+
+
+def _fluid_mix(args: argparse.Namespace):
+    """The class mix for analytic solves, or ``None`` (class-less).
+
+    Mirrors :func:`_class_stream`'s precedence without building a
+    stream: ``--class-mix`` weights, ``--classes`` mixes equally, and
+    ``--router tiered`` alone engages the stock mix.
+    """
+    from repro.workloads import parse_class_mix
+    from repro.workloads.classes import DEFAULT_CLASS_MIX
+
+    mix_text = getattr(args, "class_mix", None)
+    classes_text = getattr(args, "classes", None)
+    if mix_text and classes_text:
+        raise ValueError("pass --classes or --class-mix, not both")
+    text = mix_text or classes_text
+    if text is not None:
+        return parse_class_mix(text)
+    if getattr(args, "router", None) == "tiered":
+        return DEFAULT_CLASS_MIX
+    return None
+
+
+def _print_fluid_report(report, title: str) -> None:
+    """Render one :class:`~repro.cluster.fluid.FluidReport`."""
+
+    def ms(seconds: float) -> str:
+        return "inf" if math.isinf(seconds) else f"{seconds * 1000:.0f}"
+
+    station_rows = [
+        [s.label, s.replicas, f"{s.rate_per_s:.2f}",
+         "inf" if math.isinf(s.rho) else f"{s.rho:.2f}", s.regime,
+         f"{s.utilization:.0%}", f"{s.mean_batch:.1f}",
+         f"{s.p_wait:.0%}", ms(s.mean_wait_s), ms(s.tpot_s),
+         f"{s.throughput_tokens_per_s:.1f}"]
+        for s in report.stations]
+    print(format_table(
+        ["tier", "replicas", "req/s", "rho", "regime", "util",
+         "mean batch", "p(wait)", "wait ms", "TPOT ms", "tok/s"],
+        station_rows, title=title))
+    percentile_text = "   ".join(
+        f"p{int(q * 100)} TTFT: {ms(t)} ms"
+        for q, t in sorted(report.ttft_percentiles.items()))
+    print(f"\nregime: {report.regime}   "
+          f"capacity: {report.capacity_req_per_s:.2f} req/s   "
+          f"offered: {report.rate_per_s:.2f} req/s "
+          f"(rho {report.max_rho:.2f})")
+    print(f"throughput: {report.throughput_tokens_per_s:.1f} tok/s   "
+          f"goodput: {report.goodput_tokens_per_s:.1f} tok/s   "
+          f"attainment: {report.attainment:.0%}   "
+          f"$/Mtok: {report.dollars_per_mtok:.2f}")
+    print(f"mean TTFT: {ms(report.mean_ttft_s)} ms   {percentile_text}   "
+          f"TPOT: {ms(report.tpot_s)} ms")
+    if len(report.classes) > 1 or (report.classes
+                                   and report.classes[0].name != "all"):
+        class_rows = [
+            [c.name, f"{c.share:.0%}", f"{c.rate_per_s:.2f}",
+             f"{c.attainment:.0%}", f"{c.goodput_tokens_per_s:.1f}",
+             ms(c.mean_ttft_s), ms(c.tpot_s),
+             f"{c.spill_rate_per_s:.2f}"]
+            for c in report.classes]
+        print()
+        print(format_table(
+            ["class", "share", "req/s", "attainment", "goodput",
+             "mean TTFT ms", "TPOT ms", "spill req/s"],
+            class_rows, title="per-class (each scored on its own SLO)"))
+    if not report.converged:
+        print(f"\nwarning: tier-flow fixed point did not converge in "
+              f"{report.iterations} iterations; treat shares as "
+              f"approximate", file=sys.stderr)
+    if report.overloaded:
+        print("\nwarning: fleet is overloaded at this rate — queues grow "
+              "without bound; waits are reported as inf, not "
+              "extrapolated", file=sys.stderr)
+
+
 def _router_factory(args: argparse.Namespace, slo, classifier=None):
     """Zero-arg factory for the ``--router`` policy.
 
@@ -334,21 +429,10 @@ def _run_sharded_cluster(args: argparse.Namespace, models, slo, shards: int,
     as a splittable stream spec so each worker regenerates only its own
     arrival slice. Returns ``(report, make_arrivals)``.
     """
-    from repro.cluster import (
-        ClusterConfig,
-        ReplicaSpec,
-        ShardRouter,
-        run_sharded,
-    )
+    from repro.cluster import ShardRouter, run_sharded
     from repro.workloads.streams import ShardableStream
 
-    keys = args.platforms.split(",")
-    backends = _build_backends(args, len(keys))
-    config = ClusterConfig([
-        ReplicaSpec(get_platform(key), model, count=1, backend=backend,
-                    max_batch=args.batch,
-                    scheduler=getattr(args, "scheduler", None))
-        for key, model, backend in zip(keys, models, backends)])
+    config = _cluster_config(args, models)
     classifier = (class_stream.classifier()
                   if class_stream is not None else None)
     router = ShardRouter(shards, local=_router_factory(args, slo,
@@ -368,6 +452,53 @@ def _run_sharded_cluster(args: argparse.Namespace, models, slo, shards: int,
     return report, stream.full
 
 
+def _cmd_cluster_fluid(args: argparse.Namespace) -> int:
+    """The ``--solver fluid`` cluster path: analytic steady state.
+
+    Same fleet and workload flags as the simulation path, answered by
+    the mean-field solver in microseconds instead of event stepping.
+    Event-path-only features (traces, tenants, bursts, exact pricing)
+    are rejected up front — the fluid model has no notion of them.
+    """
+    from repro.cluster import fluid
+    from repro.serving.slo import SLO
+
+    for flag, reason in (
+            (args.trace, "--trace records event timelines"),
+            (getattr(args, "tenants", None),
+             "--tenants is a per-user transient workload"),
+            (args.burst_rate, "--burst-rate is a transient; the fluid "
+                              "model solves Poisson steady state"),
+            (args.exact, "--exact prices scheduler iterations"),
+            (args.workers > 1 or None, "--workers parallelizes event "
+                                       "simulation"),
+            (args.shards, "--shards groups replicas for event "
+                          "simulation")):
+        if flag:
+            print(f"error: --solver fluid is analytic; {reason} "
+                  f"(drop the flag or use --solver simulate)",
+                  file=sys.stderr)
+            return 2
+    slo = SLO(ttft_s=args.ttft, tpot_s=args.tpot)
+    try:
+        models = _build_models(args, len(args.platforms.split(",")))
+        mix = _fluid_mix(args)
+        config = _cluster_config(args, models)
+        router = "tiered" if args.router == "tiered" else "uniform"
+        report = fluid.solve(config, args.rate, mix=mix, slo=slo,
+                             router=router)
+    except (KeyError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    model_names = sorted({model.name for model in models})
+    _print_fluid_report(
+        report,
+        title=f"{' + '.join(model_names)} x "
+              f"{sum(s.replicas for s in report.stations)} replicas, "
+              f"fluid steady state at {args.rate:g} req/s")
+    return 0
+
+
 def _cmd_cluster(args: argparse.Namespace) -> int:
     from repro.cluster import ClusterSimulator
     from repro.serving.slo import SLO
@@ -377,6 +508,8 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         print(f"error: --exact takes 'step' or 'vectorized' (or nothing), "
               f"got {args.exact!r}", file=sys.stderr)
         return 2
+    if args.solver == "fluid":
+        return _cmd_cluster_fluid(args)
     sharded = args.workers > 1 or args.shards is not None
     shards = args.shards if args.shards is not None else args.workers
     tracer = NOOP_TRACER
@@ -498,6 +631,75 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         write_chrome_trace(tracer.trace, destination)
         print(f"trace: {len(tracer.trace.spans)} spans -> {destination} "
               "(load in Perfetto / chrome://tracing)")
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    """``repro plan``: instant what-if sweeps over arrival rates.
+
+    Solves the fleet's analytic steady state at every requested rate
+    (one shared cost-table warmup, microseconds per point after) and
+    prints the operating curve: regime, throughput, goodput,
+    attainment, latency percentiles, $/Mtok. ``--confirm N`` replays
+    chosen points through the exact simulator — the successive
+    refinement loop from the provisioning advisor, on demand.
+    """
+    from repro.cluster import fluid
+    from repro.serving.slo import SLO
+
+    def ms(seconds: float) -> str:
+        return "inf" if math.isinf(seconds) else f"{seconds * 1000:.0f}"
+
+    slo = SLO(ttft_s=args.ttft, tpot_s=args.tpot)
+    try:
+        rates = sorted({float(r) for r in args.rates.split(",")})
+        if any(rate <= 0 for rate in rates):
+            raise ValueError("--rates must be positive")
+        models = _build_models(args, len(args.platforms.split(",")))
+        mix = _fluid_mix(args)
+        config = _cluster_config(args, models)
+        router = "tiered" if mix is not None else "uniform"
+        reports = fluid.solve_grid(
+            [fluid.FluidScenario(config=config, rate_per_s=rate,
+                                 label=f"{rate:g} req/s")
+             for rate in rates],
+            mix=mix, slo=slo, router=router)
+        capacity = fluid.saturation_rate(config, mix=mix, slo=slo,
+                                         router=router)
+    except (KeyError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    headers = ["req/s", "rho", "regime", "tok/s", "goodput",
+               "attainment", "TTFT ms", "p99 ms", "TPOT ms", "$/Mtok"]
+    rows = [
+        [f"{report.rate_per_s:g}", f"{report.max_rho:.2f}", report.regime,
+         f"{report.throughput_tokens_per_s:.1f}",
+         f"{report.goodput_tokens_per_s:.1f}", f"{report.attainment:.0%}",
+         ms(report.mean_ttft_s), ms(report.ttft_percentiles.get(0.99,
+                                                                math.inf)),
+         ms(report.tpot_s), f"{report.dollars_per_mtok:.2f}"]
+        for report in reports]
+    if args.confirm:
+        from repro.optim.advisor import measure_fleet
+
+        headers += ["sim attainment", "sim tok/s", "sim $/Mtok"]
+        for row, report in zip(rows, reports):
+            attainment, _goodput, throughput, dollars = measure_fleet(
+                config, report.rate_per_s, mix=mix, slo=slo,
+                count=args.confirm, seed=args.seed)
+            row += [f"{attainment:.0%}", f"{throughput:.1f}",
+                    f"{dollars:.2f}"]
+    model_names = sorted({model.name for model in models})
+    replicas = len(args.platforms.split(","))
+    print(format_table(
+        headers, rows,
+        title=f"{' + '.join(model_names)} x {replicas} replicas, "
+              f"fluid operating curve"))
+    print(f"\nsaturation: {capacity:.2f} req/s "
+          f"(fleet capacity at this workload shape)")
+    if args.confirm:
+        print(f"sim columns: exact fast-forward, {args.confirm} requests "
+              f"per point, seed {args.seed}")
     return 0
 
 
@@ -643,6 +845,15 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--models", required=True,
                               help="comma-separated model keys")
     sweep_parser.add_argument("--batches", default="1,8,32")
+    sweep_parser.add_argument("--workers", type=int, default=None,
+                              metavar="N",
+                              help="price grid cells on N worker "
+                                   "processes (default: serial; row "
+                                   "order is identical either way)")
+    sweep_parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                              help="cache sweep rows on disk keyed by "
+                                   "the grid spec; re-running the same "
+                                   "sweep loads instead of re-simulating")
     _add_request_args(sweep_parser)
     sweep_parser.set_defaults(func=_cmd_sweep)
 
@@ -767,7 +978,55 @@ def build_parser() -> argparse.ArgumentParser:
     cluster_parser.add_argument("--trace", default=None, metavar="PATH",
                                 help="write a Chrome trace-event JSON of "
                                      "the fleet timeline (open in Perfetto)")
+    cluster_parser.add_argument("--solver", default="simulate",
+                                choices=["simulate", "fluid"],
+                                help="simulate (default): event-driven "
+                                     "simulation; fluid: analytic "
+                                     "mean-field steady state — same "
+                                     "fleet/workload flags, microseconds "
+                                     "instead of event stepping")
     cluster_parser.set_defaults(func=_cmd_cluster)
+
+    plan_parser = sub.add_parser(
+        "plan", help="analytic what-if sweep over arrival rates "
+                     "(fluid steady-state solver)")
+    plan_parser.add_argument("--platforms", required=True,
+                             help="comma-separated replica platforms "
+                                  "(one replica each, e.g. spr,spr,h100)")
+    plan_parser.add_argument("--model", default=None,
+                             help="model served by every replica")
+    plan_parser.add_argument("--models", default=None,
+                             help="per-replica models: one key "
+                                  "broadcasts, or a comma-separated list "
+                                  "matching --platforms")
+    plan_parser.add_argument("--rates", required=True,
+                             help="comma-separated arrival rates to "
+                                  "solve, requests/s (e.g. 1,2,4,8)")
+    plan_parser.add_argument("--classes", default=None,
+                             help="equal-share request-class mix "
+                                  "(engages tiered class->tier flows)")
+    plan_parser.add_argument("--class-mix", default=None,
+                             help="weighted request-class mix (e.g. "
+                                  "simple:0.5,standard:0.35,"
+                                  "reasoning:0.15)")
+    plan_parser.add_argument("--batch", type=int, default=8,
+                             help="per-replica max batch")
+    plan_parser.add_argument("--backend", default=None,
+                             help="execution backend spec(s), as in "
+                                  "the cluster command")
+    plan_parser.add_argument("--ttft", type=float, default=2.0,
+                             help="SLO: seconds to first token")
+    plan_parser.add_argument("--tpot", type=float, default=0.2,
+                             help="SLO: seconds per output token")
+    plan_parser.add_argument("--confirm", type=int, nargs="?", const=2000,
+                             default=None, metavar="N",
+                             help="replay each rate point through the "
+                                  "exact simulator with N requests "
+                                  "(default 2000) and add measured "
+                                  "columns")
+    plan_parser.add_argument("--seed", type=int, default=0,
+                             help="seed for --confirm simulations")
+    plan_parser.set_defaults(func=_cmd_plan)
 
     trace_parser = sub.add_parser(
         "trace", help="record and render a fleet timeline trace")

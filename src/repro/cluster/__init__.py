@@ -27,6 +27,15 @@ from repro.cluster.fairness import (
     TenantStats,
     fairness_report,
 )
+from repro.cluster.fluid import (
+    ClassReport,
+    FluidReport,
+    FluidScenario,
+    StationReport,
+    saturation_rate,
+    solve,
+    solve_grid,
+)
 from repro.cluster.metrics import ClusterReport, NodeStats
 from repro.cluster.node import ReplicaNode
 from repro.cluster.router import (
@@ -51,6 +60,7 @@ from repro.cluster.tiering import (
 __all__ = [
     "AdmissionScheduler",
     "Autoscaler",
+    "ClassReport",
     "ClusterConfig",
     "ClassStats",
     "ClusterEvent",
@@ -58,6 +68,9 @@ __all__ = [
     "ClusterSimulator",
     "FCFSScheduler",
     "FairnessReport",
+    "FluidReport",
+    "FluidScenario",
+    "StationReport",
     "JoinShortestQueueRouter",
     "LeastOutstandingTokensRouter",
     "NodeDrain",
@@ -79,6 +92,9 @@ __all__ = [
     "fairness_report",
     "make_scheduler",
     "run_sharded",
+    "saturation_rate",
+    "solve",
+    "solve_grid",
     "tier_label",
     "tiering_report",
     "warm_caches",

@@ -201,6 +201,15 @@ class ReplicaNode:
         return (self.model.name, self.platform.name, self.backend_label)
 
     @property
+    def cost_table(self):
+        """The shared :class:`~repro.engine.stepcost.DecodeCostTable`.
+
+        Exposed for steady-state analyses (the fluid solver) that price
+        off the same memoized primitives the node executes with.
+        """
+        return self._cost
+
+    @property
     def scheduler_name(self) -> str:
         """Admission policy spelling ("fcfs" for the built-in loop)."""
         return self.admission.name if self.admission is not None else "fcfs"

@@ -8,7 +8,7 @@ chatbots, TPOT for translation, throughput for analytics; Section II-C).
 """
 
 import dataclasses
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.runner import run_inference
 from repro.engine.inference import EngineConfig, InferenceSimulator
@@ -124,3 +124,189 @@ class DeploymentAdvisor:
         scored.sort(key=lambda c: c.metric_value, reverse=maximize)
         return Recommendation(priority_metric=priority_metric,
                               best=scored[0], ranked=scored)
+
+
+# -- fleet-level provisioning search (fluid outer loop) --------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class FleetAssessment:
+    """One candidate fleet scored by the fluid solver."""
+
+    label: str
+    config: "ClusterConfig"
+    fluid: "FluidReport"
+    feasible: bool
+
+
+@dataclasses.dataclass(frozen=True)
+class FleetConfirmation:
+    """Exact fast-forward confirmation of one candidate fleet."""
+
+    label: str
+    requests: int
+    attainment: float
+    goodput_tokens_per_s: float
+    throughput_tokens_per_s: float
+    dollars_per_mtok: float
+    accepted: bool
+
+
+@dataclasses.dataclass(frozen=True)
+class FleetRecommendation:
+    """Output of :func:`recommend_fleet`.
+
+    ``best`` is the cheapest candidate that cleared the attainment
+    target analytically — and, when confirmation ran, survived the
+    exact simulator too (``confirmation`` holds its measured numbers).
+    ``ranked`` lists every candidate, feasible ones first by $/Mtok;
+    ``confirmations`` records each simulation tried, in order, so a
+    rejected fluid winner is visible, not silent.
+    """
+
+    rate_per_s: float
+    attainment_target: float
+    best: Optional[FleetAssessment]
+    confirmation: Optional[FleetConfirmation]
+    ranked: List[FleetAssessment]
+    confirmations: List[FleetConfirmation]
+
+
+def measure_fleet(config, rate_per_s, mix=None, spec=None, slo=None,
+                  count: int = 2000, seed: int = 0,
+                  amortization_years: Optional[float] = None
+                  ) -> Tuple[float, float, float, float]:
+    """Simulate one fleet with fast-forward; the fluid solver's oracle.
+
+    Returns ``(attainment, goodput_tokens_per_s, throughput_tokens_per_s,
+    dollars_per_mtok)`` measured by the exact event-driven simulator on
+    a *count*-request Poisson stream — the confirmation step of
+    :func:`recommend_fleet` and of ``repro plan --confirm``.
+    """
+    from repro.cluster.metrics import DEFAULT_AMORTIZATION_YEARS
+
+    if amortization_years is None:
+        amortization_years = DEFAULT_AMORTIZATION_YEARS
+    from repro.cluster.router import JoinShortestQueueRouter
+    from repro.cluster.simulator import ClusterSimulator
+    from repro.cluster.tiering import TieredRouter
+    from repro.serving.arrivals import iter_poisson_arrivals
+    from repro.serving.slo import SLO
+    from repro.workloads.classes import MixClassifier, iter_class_arrivals
+
+    if mix is not None:
+        classifier = MixClassifier(mix=tuple(mix))
+        arrivals = list(iter_class_arrivals(rate_per_s, classifier,
+                                            count=count, seed=seed))
+        router = TieredRouter(classifier=classifier)
+    else:
+        classifier = None
+        arrivals = list(iter_poisson_arrivals(rate_per_s, count=count,
+                                              spec=spec, seed=seed))
+        router = JoinShortestQueueRouter()
+    simulator = ClusterSimulator(config.build_fleet(), router)
+    report = simulator.run(iter(arrivals))
+    if classifier is not None:
+        tiering = report.tiering(arrivals, classifier,
+                                 amortization_years=amortization_years)
+        completed = sum(c.completed for c in tiering.classes)
+        met = sum(c.met for c in tiering.classes)
+        attainment = met / completed if completed else 1.0
+        goodput = sum(c.goodput for c in tiering.classes)
+    else:
+        bar = slo if slo is not None else SLO()
+        attainment = report.attainment(arrivals, bar)
+        goodput = report.goodput(arrivals, bar)
+    return (attainment, goodput, report.throughput,
+            report.dollars_per_million_tokens(amortization_years))
+
+
+def recommend_fleet(candidates: Sequence[Union[Tuple[str, "ClusterConfig"],
+                                               "ClusterConfig"]],
+                    rate_per_s: float, *,
+                    mix=None, spec=None, slo=None,
+                    attainment_target: float = 0.95,
+                    confirm: bool = True,
+                    confirm_requests: int = 2000,
+                    confirm_attempts: int = 3,
+                    confirm_slack: float = 0.05,
+                    seed: int = 0,
+                    amortization_years: Optional[float] = None
+                    ) -> FleetRecommendation:
+    """Pick the cheapest fleet meeting an SLO target — fluid-first.
+
+    The successive-refinement provisioning search: every candidate
+    fleet is scored by the analytic fluid solver (microseconds per
+    point once tables are warm), candidates clearing
+    *attainment_target* are ranked by $/Mtok, and the winner is
+    *confirmed* by the exact fast-forward simulator. If the simulator
+    disagrees (measured attainment below target minus *confirm_slack*),
+    the next-cheapest feasible candidate is confirmed instead, up to
+    *confirm_attempts* — the cheap outer loop never ships an
+    unvalidated answer.
+
+    Args:
+        candidates: ``(label, ClusterConfig)`` pairs (bare configs get
+            positional labels).
+        rate_per_s: Offered fleet-wide arrival rate.
+        mix / spec / slo: Workload description, as in
+            :func:`repro.cluster.fluid.solve`.
+    """
+    from repro.cluster.fluid import FluidScenario, solve_grid
+    from repro.cluster.metrics import DEFAULT_AMORTIZATION_YEARS
+
+    years = amortization_years if amortization_years is not None \
+        else DEFAULT_AMORTIZATION_YEARS
+    labelled = []
+    for position, candidate in enumerate(candidates):
+        if isinstance(candidate, tuple):
+            labelled.append(candidate)
+        else:
+            labelled.append((f"candidate-{position}", candidate))
+    if not labelled:
+        raise ValueError("recommend_fleet needs at least one candidate")
+
+    reports = solve_grid(
+        [FluidScenario(config=config, rate_per_s=rate_per_s, label=label)
+         for label, config in labelled],
+        mix=mix, spec=spec, slo=slo, amortization_years=years)
+    assessments = [
+        FleetAssessment(label=label, config=config, fluid=report,
+                        feasible=(not report.overloaded
+                                  and report.attainment
+                                  >= attainment_target))
+        for (label, config), report in zip(labelled, reports)]
+    feasible = sorted([a for a in assessments if a.feasible],
+                      key=lambda a: a.fluid.dollars_per_mtok)
+    infeasible = sorted([a for a in assessments if not a.feasible],
+                        key=lambda a: (-a.fluid.attainment,
+                                       a.fluid.dollars_per_mtok))
+    ranked = feasible + infeasible
+
+    best = feasible[0] if feasible else None
+    confirmation = None
+    confirmations: List[FleetConfirmation] = []
+    if confirm and feasible:
+        for assessment in feasible[:confirm_attempts]:
+            attainment, goodput, throughput, dollars = measure_fleet(
+                assessment.config, rate_per_s, mix=mix, spec=spec, slo=slo,
+                count=confirm_requests, seed=seed,
+                amortization_years=years)
+            accepted = attainment >= attainment_target - confirm_slack
+            record = FleetConfirmation(
+                label=assessment.label, requests=confirm_requests,
+                attainment=attainment, goodput_tokens_per_s=goodput,
+                throughput_tokens_per_s=throughput,
+                dollars_per_mtok=dollars, accepted=accepted)
+            confirmations.append(record)
+            if accepted:
+                best, confirmation = assessment, record
+                break
+        else:
+            # No candidate survived confirmation: surface the fluid
+            # favorite with its failed confirmations attached.
+            confirmation = confirmations[-1] if confirmations else None
+    return FleetRecommendation(
+        rate_per_s=rate_per_s, attainment_target=attainment_target,
+        best=best, confirmation=confirmation, ranked=ranked,
+        confirmations=confirmations)

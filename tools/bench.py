@@ -13,9 +13,15 @@ performance trajectory:
   three-replica serving run stepped per iteration (``exact=True``) vs.
   the event-horizon fast-forward loop, reporting simulated requests per
   wall-second and the speedup.
+* ``--suite fluid`` (merges a ``fluid`` key into
+  ``BENCH_cluster.json``) — the analytic steady-state solver vs. exact
+  fast-forward simulation on a 10-point provisioning sweep, with the
+  per-regime error envelope.
 
 Every suite cross-checks that the fast path agrees with its exact
-reference (max relative error is recorded in the JSON).
+reference (max relative error is recorded in the JSON), and every
+report carries an ``environment`` stamp (host CPUs, git revision) so
+wall-clock numbers can be compared across machines and PRs.
 
 Usage::
 
@@ -701,6 +707,146 @@ def bench_tiering(quick: bool, repeat: int) -> dict:
     }
 
 
+# Provisioning sweep for the fluid suite: how many SPR replicas serve a
+# fixed offered load? The rate is pinned well above one replica's
+# saturation so the ten fleet sizes cross all three regimes —
+# overloaded (small k), near-saturation (the knee), stable (large k).
+FLUID_POINTS = 10
+FLUID_OVERPROVISION = 5.5
+
+
+def _fluid_configs():
+    from repro.cluster import ClusterConfig, ReplicaSpec
+
+    model = get_model("llama2-7b")
+    spr = get_platform("spr")
+    return [ClusterConfig([ReplicaSpec(spr, model, count=k,
+                                       max_batch=CLUSTER_MAX_BATCH)])
+            for k in range(1, FLUID_POINTS + 1)]
+
+
+def bench_fluid(quick: bool, repeat: int) -> dict:
+    """Fluid steady-state solver vs exact fast-forward on a sweep.
+
+    The tentpole claim: a 10-point provisioning what-if (1..10 SPR
+    replicas at one offered load) answered analytically in milliseconds
+    instead of simulated minutes. Both legs start cold (the fluid leg's
+    cold time includes building its shared cost tables; the warm time
+    is what every subsequent what-if costs). The error envelope vs the
+    exact simulator is recorded per regime: stable points carry the
+    accuracy contract, near-saturation is reported but not trusted,
+    overload is checked to be *flagged*, not extrapolated.
+    """
+    from repro.cluster import fluid
+    from repro.optim.advisor import measure_fleet
+    from repro.serving.slo import SLO
+
+    count = 1_500 if quick else 20_000
+    slo = SLO()
+    configs = _fluid_configs()
+    rate = FLUID_OVERPROVISION * fluid.saturation_rate(
+        configs[0], spec=CLUSTER_SPEC, slo=slo)
+    scenarios = [fluid.FluidScenario(config=config, rate_per_s=rate,
+                                     label=f"{k + 1}x SPR")
+                 for k, config in enumerate(configs)]
+
+    def solve_all():
+        return fluid.solve_grid(scenarios, spec=CLUSTER_SPEC, slo=slo,
+                                router="uniform")
+
+    clear_caches()
+    begin = time.perf_counter()
+    reports = solve_all()
+    fluid_cold_s = time.perf_counter() - begin
+    fluid_warm_s = None
+    for _ in range(repeat):
+        begin = time.perf_counter()
+        solve_all()
+        elapsed = time.perf_counter() - begin
+        if fluid_warm_s is None or elapsed < fluid_warm_s:
+            fluid_warm_s = elapsed
+
+    clear_caches()
+    sim_s = 0.0
+    measured = []
+    for config in configs:
+        begin = time.perf_counter()
+        attainment, goodput, throughput, dollars = measure_fleet(
+            config, rate, spec=CLUSTER_SPEC, slo=slo, count=count,
+            seed=CLUSTER_SEED)
+        sim_s += time.perf_counter() - begin
+        measured.append((attainment, goodput, throughput, dollars))
+
+    def rel_err(fluid_value, sim_value):
+        return abs(fluid_value - sim_value) / max(abs(sim_value), 1e-300)
+
+    envelope = {}
+    points = []
+    for k, (report, (attainment, goodput, throughput, dollars)) in \
+            enumerate(zip(reports, measured)):
+        errors = {
+            "throughput": rel_err(report.throughput_tokens_per_s,
+                                  throughput),
+            "goodput": rel_err(report.goodput_tokens_per_s, goodput),
+            "dollars_per_mtok": rel_err(report.dollars_per_mtok, dollars),
+        }
+        bucket = envelope.setdefault(
+            report.regime, {"points": 0, "throughput": 0.0,
+                            "goodput": 0.0, "dollars_per_mtok": 0.0,
+                            "max_sim_attainment": 0.0})
+        bucket["points"] += 1
+        bucket["max_sim_attainment"] = max(bucket["max_sim_attainment"],
+                                           attainment)
+        for metric, err in errors.items():
+            bucket[metric] = max(bucket[metric], err)
+        points.append({
+            "replicas": k + 1,
+            "regime": report.regime,
+            "rho": report.max_rho,
+            "fluid_throughput": report.throughput_tokens_per_s,
+            "sim_throughput": throughput,
+            "fluid_attainment": report.attainment,
+            "sim_attainment": attainment,
+            "fluid_dollars_per_mtok": report.dollars_per_mtok,
+            "sim_dollars_per_mtok": dollars,
+        })
+    # Overload must be flagged, never silently extrapolated: every
+    # fluid-overloaded point should also drown the simulator.
+    overloaded = [p for p in points if p["regime"] == "overloaded"]
+    overload_flag_agrees = all(p["sim_attainment"] < 0.5
+                               for p in overloaded)
+    return {
+        "points": FLUID_POINTS,
+        "rate_per_s": rate,
+        "max_batch": CLUSTER_MAX_BATCH,
+        "sim_requests": count,
+        "fluid_cold_s": fluid_cold_s,
+        "fluid_warm_s": fluid_warm_s,
+        "sim_s": sim_s,
+        "speedup": sim_s / fluid_cold_s,
+        "speedup_warm": sim_s / fluid_warm_s,
+        "overload_flag_agrees": overload_flag_agrees,
+        "envelope": envelope,
+        "sweep": points,
+    }
+
+
+def _environment() -> dict:
+    """Host facts that contextualize wall-clock numbers across PRs."""
+    import subprocess
+
+    revision = None
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+        revision = proc.stdout.strip() or None
+    except (OSError, subprocess.SubprocessError):
+        revision = None
+    return {"host_cpus": os.cpu_count(), "git_revision": revision}
+
+
 def _print_cluster(cluster: dict) -> None:
     print(f"cluster ({cluster['requests']:,} requests, "
           f"{cluster['replicas']} replicas): "
@@ -765,10 +911,26 @@ def _print_exact_vectorized(vec: dict) -> None:
           f"max rel err {vec['max_rel_err']:.2e}")
 
 
+def _print_fluid(fluid: dict) -> None:
+    stable = fluid["envelope"].get("stable", {})
+    print(f"fluid ({fluid['points']} provisioning points, "
+          f"{fluid['sim_requests']:,} sim requests/point): "
+          f"sim {fluid['sim_s']:.1f}s, "
+          f"fluid cold {fluid['fluid_cold_s'] * 1e3:.0f}ms "
+          f"({fluid['speedup']:.0f}x), "
+          f"warm {fluid['fluid_warm_s'] * 1e3:.1f}ms "
+          f"({fluid['speedup_warm']:.0f}x); "
+          f"stable envelope: throughput "
+          f"{stable.get('throughput', 0.0):.1%}, "
+          f"$/Mtok {stable.get('dollars_per_mtok', 0.0):.1%}; "
+          f"overload flagged: {fluid['overload_flag_agrees']}")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--suite",
-                        choices=("sweep", "cluster", "fairness", "tiering"),
+                        choices=("sweep", "cluster", "fairness", "tiering",
+                                 "fluid"),
                         default="sweep",
                         help="benchmark suite to run (default: sweep)")
     parser.add_argument("--json", default=None,
@@ -782,15 +944,16 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.json:
         destination = args.json
-    elif args.suite in ("fairness", "tiering"):
+    elif args.suite in ("fairness", "tiering", "fluid"):
         destination = "BENCH_cluster.json"
     else:
         destination = f"BENCH_{args.suite}.json"
 
-    if args.suite in ("fairness", "tiering"):
+    if args.suite in ("fairness", "tiering", "fluid"):
         # Merge into the cluster report rather than replacing it: the
-        # fairness/tiering figures extend the same
-        # simulation-throughput record.
+        # fairness/tiering/fluid figures extend the same
+        # simulation-throughput record. Merged suites carry their own
+        # environment stamp (the top-level one dates the cluster run).
         report = {}
         if os.path.exists(destination):
             with open(destination) as fh:
@@ -798,13 +961,17 @@ def main(argv=None) -> int:
         if args.suite == "fairness":
             report["fairness"] = bench_fairness(args.quick,
                                                 min(args.repeat, 3))
-        else:
+        elif args.suite == "tiering":
             report["tiering"] = bench_tiering(args.quick,
                                               min(args.repeat, 3))
+        else:
+            report["fluid"] = bench_fluid(args.quick, min(args.repeat, 3))
+        report[args.suite]["environment"] = _environment()
     elif args.suite == "cluster":
         report = {
             "benchmark": "cluster event-horizon fast-forward",
             "quick": args.quick,
+            "environment": _environment(),
             "cluster": bench_cluster(args.quick, min(args.repeat, 3)),
             "cluster_mixed": bench_cluster_mixed(args.quick,
                                                  min(args.repeat, 3)),
@@ -817,6 +984,7 @@ def main(argv=None) -> int:
         report = {
             "benchmark": "fig8-grid + decode-pricing microbenchmark",
             "quick": args.quick,
+            "environment": _environment(),
             "fig8_sweep": bench_fig8_sweep(args.quick, args.repeat),
             "decode_micro": bench_decode_micro(args.quick, args.repeat),
         }
@@ -828,6 +996,8 @@ def main(argv=None) -> int:
         _print_fairness(report["fairness"])
     elif args.suite == "tiering":
         _print_tiering(report["tiering"])
+    elif args.suite == "fluid":
+        _print_fluid(report["fluid"])
     elif args.suite == "cluster":
         _print_cluster(report["cluster"])
         _print_cluster_mixed(report["cluster_mixed"])
