@@ -695,8 +695,11 @@ def _cmd_plan(args: argparse.Namespace) -> int:
         headers, rows,
         title=f"{' + '.join(model_names)} x {replicas} replicas, "
               f"fluid operating curve"))
-    print(f"\nsaturation: {capacity:.2f} req/s "
-          f"(fleet capacity at this workload shape)")
+    if math.isinf(capacity):
+        print("\nsaturation: not found within the searched rate range")
+    else:
+        print(f"\nsaturation: {capacity:.2f} req/s "
+              f"(fleet capacity at this workload shape)")
     if args.confirm:
         print(f"sim columns: exact fast-forward, {args.confirm} requests "
               f"per point, seed {args.seed}")

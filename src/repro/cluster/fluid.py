@@ -309,11 +309,16 @@ class _StationSolution:
             pi[top] = 1.0
             p_wait, mean_wait = 1.0, math.inf
         else:
-            raw = [1.0]
+            # Accumulate the chain in log-space: the un-normalized
+            # running product overflows for large fleets (k*B in the
+            # thousands) long before normalization.
+            logs = [0.0]
             for n in range(1, top + 1):
                 busy = min(n, k)
                 mu = busy / spacing(n / busy)
-                raw.append(raw[-1] * rate / mu)
+                logs.append(logs[-1] + math.log(rate / mu))
+            peak = max(logs)
+            raw = [math.exp(v - peak) for v in logs]
             tail = raw[top] * rho / (1.0 - rho)  # mass beyond n = k*B
             norm = sum(raw) + tail
             pi = [p / norm for p in raw]
@@ -322,8 +327,7 @@ class _StationSolution:
             mean_wait = queue_len / rate
             # M/G/k-style correction: scale the M/M wait by the
             # service-demand variability of the shape mixture.
-            mean_wait *= (1.0 + self._service_cv2(weights, decode,
-                                                  prefill)) / 2.0
+            mean_wait *= (1.0 + self._service_cv2(weights, big_b)) / 2.0
         self.p_wait = p_wait
         self.mean_wait_s = mean_wait
         theta = math.inf if mean_wait <= 0.0 \
@@ -350,7 +354,7 @@ class _StationSolution:
             occupancy = [0.0] * big_b + [1.0]
         self.occupancy = tuple(occupancy)
         self.utilization = 1.0 if overloaded else \
-            sum(p * min(n, k) / k for n, p in enumerate(pi))
+            min(1.0, sum(p * min(n, k) / k for n, p in enumerate(pi)))
         self.mean_batch = sum(b * p for b, p in enumerate(occupancy))
 
         # Token-weighted occupancy: states produce tokens at n / gap(q),
@@ -421,22 +425,24 @@ class _StationSolution:
             self.classes.append(dataclasses.replace(
                 entry, attainment=ttft_ok * tpot_ok))
 
-    @staticmethod
-    def _service_cv2(weights, decode, prefill_mean) -> float:
+    def _service_cv2(self, weights, big_b) -> float:
         """Squared CV of the per-slot service demand across the mixture.
 
         Uses the affine shape approximation: within a class the demand
         varies chiefly with the output length (uniform, known variance)
         at the class's per-step slope; across classes the means spread.
+        Demands are priced per flow so heterogeneous class mixes
+        actually contribute the cross-class spread to the second moment.
         """
-        big_b = len(decode) - 1
+        station = self.station
         mean = 0.0
         second = 0.0
         for flow, w in weights:
-            x = prefill_mean + decode[big_b] / big_b
+            per_slot = station.decode_s(flow, big_b) / big_b
+            x = station.prefill_s(flow) + per_slot
             var = 0.0
             if flow.mean_steps > 0.0:
-                slope = (decode[big_b] / big_b) / flow.mean_steps
+                slope = per_slot / flow.mean_steps
                 lo, hi = flow.output_range
                 n = hi - lo + 1
                 var = slope * slope * (n * n - 1) / 12.0
@@ -940,7 +946,10 @@ def saturation_rate(config: ClusterConfig, *,
     while max_rho(hi) < 1.0:
         lo, hi = hi, hi * 2.0
         if hi > uniform_cap * 64:
-            return hi
+            # No saturating bracket found within 64x the uniform
+            # capacity: signal "not found" rather than return an
+            # arbitrary non-saturating rate.
+            return math.inf
     while (hi - lo) > rel_tol * hi:
         mid = (lo + hi) / 2.0
         if max_rho(mid) >= 1.0:

@@ -304,8 +304,9 @@ def recommend_fleet(candidates: Sequence[Union[Tuple[str, "ClusterConfig"],
                 break
         else:
             # No candidate survived confirmation: surface the fluid
-            # favorite with its failed confirmations attached.
-            confirmation = confirmations[-1] if confirmations else None
+            # favorite (feasible[0], confirmed first) with its own
+            # failed record so best+confirmation stay a matched pair.
+            confirmation = confirmations[0] if confirmations else None
     return FleetRecommendation(
         rate_per_s=rate_per_s, attainment_target=attainment_target,
         best=best, confirmation=confirmation, ranked=ranked,

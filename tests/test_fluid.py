@@ -163,6 +163,34 @@ def test_tiered_mix_conserves_flow():
     assert len(report.stations) == 2
 
 
+def test_large_fleet_stays_finite():
+    """32 replicas x batch 64 near saturation: no overflow, no NaN.
+
+    Regression: the birth-death chain used to accumulate un-normalized
+    running products, which overflow to inf at k*B in the thousands and
+    turn every statistic NaN after normalization.
+    """
+    config = _fleet("spr", 32, 64)
+    capacity = fluid.saturation_rate(config)
+    assert math.isfinite(capacity)
+    report = fluid.solve(config, 0.9 * capacity)
+
+    assert not report.overloaded
+    assert math.isfinite(report.throughput_tokens_per_s)
+    assert math.isfinite(report.goodput_tokens_per_s)
+    assert math.isfinite(report.mean_ttft_s)
+    assert math.isfinite(report.tpot_s)
+    assert math.isfinite(report.dollars_per_mtok)
+    assert 0.0 <= report.attainment <= 1.0
+    for station in report.stations:
+        assert math.isfinite(station.p_wait)
+        assert 0.0 <= station.p_wait <= 1.0
+        assert math.isfinite(station.mean_wait_s)
+        assert math.isfinite(station.utilization)
+        assert 0.0 <= station.utilization <= 1.0
+        assert sum(station.occupancy) == pytest.approx(1.0, abs=1e-6)
+
+
 def test_rejects_empty_and_nonsense_inputs():
     config = _fleet("spr", 1, 8)
     with pytest.raises(ValueError):
