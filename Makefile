@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-cluster bench-fairness bench-tiering bench-fluid bench-figures bench-json trace
+.PHONY: test bench bench-cluster bench-fairness bench-tiering bench-fluid bench-fleetmix bench-figures bench-json trace
 
 # Tier-1 test suite (must stay green).
 test:
@@ -34,6 +34,12 @@ bench-tiering:
 # provisioning sweep; merges a "fluid" key into BENCH_cluster.json.
 bench-fluid:
 	$(PYTHON) tools/bench.py --suite fluid
+
+# Mixed CPU/GPU/hybrid fleet: fast-forward vs exact stepping parity
+# plus the fluid-vs-exact envelope on the ext_fleetmix fleet shape;
+# merges a "fleetmix" key into BENCH_cluster.json.
+bench-fleetmix:
+	$(PYTHON) tools/bench.py --suite fleetmix
 
 bench-json: bench
 

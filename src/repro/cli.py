@@ -216,14 +216,22 @@ def _build_backends(args: argparse.Namespace, replicas: int) -> list:
     """Per-replica execution backends from ``--backend`` (or all-None).
 
     One spec broadcasts to every replica; otherwise the comma-separated
-    list must match ``--platforms`` one-for-one.
+    list must match ``--platforms`` one-for-one. NUMA placement options
+    (``numa:snc_flat,aware,hot=0.8``) also use commas, so fragments
+    that are options rather than spec starts reattach to the spec
+    before them — ``numa:snc_flat,aware,hybrid:a100`` is two replicas.
     """
     spec = getattr(args, "backend", None)
     if not spec:
         return [None] * replicas
     from repro.engine.backend import parse_backend
 
-    specs = spec.split(",")
+    specs: list = []
+    for item in spec.split(","):
+        if specs and (item == "aware" or item.startswith("hot=")):
+            specs[-1] += "," + item
+        else:
+            specs.append(item)
     if len(specs) == 1:
         specs = specs * replicas
     if len(specs) != replicas:
@@ -937,12 +945,17 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="per-replica max batch")
     cluster_parser.add_argument("--backend", default=None,
                                 help="execution backend spec(s): one of "
-                                     "bf16/fp16/fp32/int8/int4/w8a8, with "
-                                     "an optional tpN suffix (e.g. "
-                                     "int8-tp2). One value applies to "
-                                     "every replica; a comma-separated "
-                                     "list assigns per replica and must "
-                                     "match --platforms")
+                                     "bf16/fp16/fp32/int8/int4/w8a8, "
+                                     "optionally combined with "
+                                     "numa:CONFIG[,aware][,hot=F] "
+                                     "(hot/cold HBM-DDR placement), "
+                                     "hybrid:GPU (GPU prefill + CPU "
+                                     "decode, e.g. hybrid:a100), and a "
+                                     "tpN suffix (e.g. int8-tp2, "
+                                     "int8-numa:snc_flat,aware-tp2). One "
+                                     "value applies to every replica; a "
+                                     "comma-separated list assigns per "
+                                     "replica and must match --platforms")
     cluster_parser.add_argument("--tenants", type=int, default=None,
                                 metavar="N",
                                 help="serve a multi-tenant workload: N "

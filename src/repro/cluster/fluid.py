@@ -173,6 +173,9 @@ class _Station:
                              for n in nodes)
 
     def prefill_s(self, flow: _Flow) -> float:
+        # Includes backend comm time (TP allreduce, hybrid GPU leg):
+        # DecodeCostTable.prefill_time folds prefill_comm_s in, so
+        # hybrid stations price their PCIe/GPU prefill here for free.
         return self.table.expected_prefill_time(flow.input_range)
 
     def decode_s(self, flow: _Flow, batch: int) -> float:

@@ -61,7 +61,10 @@ from repro.workloads.classes import (
     RequestClass,
 )
 
-#: A tier identity: (model name, platform name, backend label).
+#: A tier identity: (model name, platform name, backend label). The
+#: backend label distinguishes NUMA-placed (``bf16-snc_flat-aware``)
+#: and hybrid CPU–GPU (``bf16-hyb.a100``) replicas from plain ones, so
+#: mixed CPU/GPU/hybrid fleets route and account per placement.
 Tier = Tuple[str, str, str]
 
 

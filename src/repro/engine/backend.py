@@ -34,11 +34,13 @@ tables. See ``docs/backends.md``.
 """
 
 import dataclasses
+import difflib
 import functools
 from typing import Optional, Tuple
 
 from repro.hardware.datatypes import DType, parse_dtype
 from repro.hardware.interconnect import Interconnect, upi_link
+from repro.hardware.platform import Platform
 from repro.models.config import ModelConfig
 from repro.models.layers import Op, OpKind
 from repro.models.memory import (
@@ -48,6 +50,12 @@ from repro.models.memory import (
     weight_bytes,
 )
 from repro.models.opgraph import _decode_step_ops_cached, _prefill_ops_cached
+from repro.numa.model import (
+    DEFAULT_NUMA_CALIBRATION,
+    NumaCalibration,
+    NumaModel,
+)
+from repro.numa.modes import NumaConfig, QUAD_FLAT, get_config
 from repro.quant.weightonly import (
     QuantConfig,
     QuantScheme,
@@ -74,9 +82,11 @@ def _cached_decode_ops(backend: "ExecutionBackend", model: ModelConfig,
 
 
 def clear_backend_op_caches() -> None:
-    """Drop memoized backend-rewritten operator graphs."""
+    """Drop memoized backend-rewritten op graphs and hybrid GPU legs."""
     _cached_prefill_ops.cache_clear()
     _cached_decode_ops.cache_clear()
+    _HYBRID_EXECUTORS.clear()
+    _hybrid_prefill_leg.cache_clear()
 
 
 def scale_op(op: Op, factor: float) -> Op:
@@ -238,6 +248,30 @@ class ExecutionBackend:
     def capacity_scale(self) -> float:
         """Memory-capacity multiplier (TP spans multiple sockets)."""
         return 1.0
+
+    # -- memory-system hooks ------------------------------------------------
+
+    def tier_bandwidth(self, platform: Platform,
+                       footprint_bytes: float) -> Optional[float]:
+        """Sustained kernel bandwidth override, bytes/s (pre core-scaling).
+
+        ``None`` (the default) keeps the simulator's own derivation —
+        the engine-config NUMA model on CPUs, peak x stream efficiency
+        on GPUs. :class:`NumaBackend` overrides this to price its own
+        HBM/DDR placement; wrappers forward to their inner backend. On
+        CPUs the simulator still applies the core-scaling bandwidth
+        factor on top, exactly as for the engine-config path.
+        """
+        return None
+
+    def memory_capacity_bytes(self, platform: Platform) -> Optional[float]:
+        """Usable memory-capacity override, bytes (pre socket-spanning).
+
+        ``None`` keeps the simulator's engine-config derivation.
+        :class:`NumaBackend` overrides this with its configuration's
+        software-visible capacity (HBM-only < cache < flat).
+        """
+        return None
 
     # -- pricing hooks ------------------------------------------------------
 
@@ -440,6 +474,14 @@ class TensorParallelBackend(ExecutionBackend):
         inner = self._resolved_inner().decode_comm_s(model, batch_size)
         return self.allreduce_s(model, batch_size) + inner
 
+    def tier_bandwidth(self, platform: Platform,
+                       footprint_bytes: float) -> Optional[float]:
+        return self._resolved_inner().tier_bandwidth(platform,
+                                                     footprint_bytes)
+
+    def memory_capacity_bytes(self, platform: Platform) -> Optional[float]:
+        return self._resolved_inner().memory_capacity_bytes(platform)
+
     @property
     def signature(self) -> tuple:
         return ("tp", self.tp, self.interconnect,
@@ -565,32 +607,400 @@ class PrefixCacheBackend(ExecutionBackend):
         return f"prefix{self.prefix_len}"
 
 
+@dataclasses.dataclass(frozen=True)
+class NumaBackend(ExecutionBackend):
+    """NUMA placement as a composable backend (Section VI, optimization 1).
+
+    Wraps an *inner* backend (plain dense by default; quantized when
+    composed) and reprices its bandwidth-bound ops through
+    :class:`~repro.numa.model.NumaModel`: the configured memory x
+    clustering mode, optional NUMA-aware allocation, and — when
+    *hot_fraction* is set — hot/cold weight placement across the
+    HBM/DDR tiers (*hot_fraction* of memory traffic pinned to the fast
+    tier, the rest spilling to DDR). Op graphs, dtype, footprint, and
+    per-pass communication all delegate to the inner backend, so a
+    ``NumaBackend`` replica prices identically to the legacy
+    ``EngineConfig(numa=...)`` path bit-for-bit — that parity is what
+    makes the engine-config route a thin adapter.
+
+    The placement enters :attr:`signature`, so two placements on the
+    same (platform, model) warm disjoint
+    :class:`~repro.engine.stepcost.DecodeCostTable` entries.
+    """
+
+    numa: NumaConfig = QUAD_FLAT
+    numa_aware: bool = False
+    hot_fraction: Optional[float] = None
+    calibration: NumaCalibration = DEFAULT_NUMA_CALIBRATION
+    inner: Optional[ExecutionBackend] = None
+    dtype: DType = DType.BF16
+
+    def __post_init__(self) -> None:
+        if self.hot_fraction is not None and \
+                not 0 <= self.hot_fraction <= 1:
+            raise ValueError(
+                f"hot_fraction must be in [0, 1], got {self.hot_fraction}")
+
+    def _resolved_inner(self) -> ExecutionBackend:
+        return self.inner if self.inner is not None \
+            else BaselineBackend(self.dtype)
+
+    def _numa_model(self, platform: Platform) -> NumaModel:
+        return NumaModel(platform, self.numa, self.calibration,
+                         numa_aware=self.numa_aware)
+
+    # -- memory system ------------------------------------------------------
+
+    def tier_bandwidth(self, platform: Platform,
+                       footprint_bytes: float) -> float:
+        model = self._numa_model(platform)
+        if self.hot_fraction is not None:
+            return model.hot_cold_bandwidth(self.hot_fraction)
+        return model.effective_bandwidth(footprint_bytes)
+
+    def memory_capacity_bytes(self, platform: Platform) -> float:
+        return self._numa_model(platform).capacity_bytes
+
+    # -- everything else delegates to the inner backend ---------------------
+
+    @property
+    def compute_dtype(self) -> DType:
+        return self._resolved_inner().compute_dtype
+
+    @property
+    def adjusts(self) -> bool:  # type: ignore[override]
+        return self._resolved_inner().adjusts
+
+    def adjust_timing(self, timing):
+        return self._resolved_inner().adjust_timing(timing)
+
+    def prefill_ops(self, model: ModelConfig, batch_size: int,
+                    input_len: int) -> Tuple[Op, ...]:
+        return self._resolved_inner().prefill_ops(model, batch_size,
+                                                  input_len)
+
+    def decode_ops(self, model: ModelConfig, batch_size: int,
+                   kv_len: int) -> Tuple[Op, ...]:
+        return self._resolved_inner().decode_ops(model, batch_size, kv_len)
+
+    def weight_bytes(self, model: ModelConfig) -> float:
+        return self._resolved_inner().weight_bytes(model)
+
+    def footprint_bytes(self, model: ModelConfig, request) -> float:
+        return self._resolved_inner().footprint_bytes(model, request)
+
+    @property
+    def capacity_scale(self) -> float:
+        return self._resolved_inner().capacity_scale
+
+    def prefill_comm_s(self, model: ModelConfig, batch_size: int,
+                       input_len: int) -> float:
+        return self._resolved_inner().prefill_comm_s(model, batch_size,
+                                                     input_len)
+
+    def decode_comm_s(self, model: ModelConfig, batch_size: int) -> float:
+        return self._resolved_inner().decode_comm_s(model, batch_size)
+
+    @property
+    def signature(self) -> tuple:
+        return ("numa", self.numa, self.numa_aware, self.hot_fraction,
+                self.calibration, self._resolved_inner().signature)
+
+    @property
+    def label(self) -> str:
+        tag = self.numa.label
+        if self.numa_aware:
+            tag += "-aware"
+        if self.hot_fraction is not None:
+            tag += f"-hot{self.hot_fraction:g}"
+        return f"{self._resolved_inner().label}-{tag}"
+
+
+# The hybrid backend's GPU-side executor and priced prefill legs are
+# pure functions of frozen inputs; memoized here and dropped by
+# clear_backend_op_caches (wired into repro.experiments.clear_caches).
+
+_HYBRID_EXECUTORS: dict = {}
+
+
+def _hybrid_gpu_executor(gpu: Platform, dtype: DType):
+    # Keyed by name: Platform carries a tier list and is unhashable.
+    key = (gpu.name, dtype)
+    executor = _HYBRID_EXECUTORS.get(key)
+    if executor is None:
+        from repro.engine.executor import OperatorExecutor
+
+        bandwidth = gpu.peak_memory_bandwidth * gpu.stream_efficiency
+        executor = OperatorExecutor(gpu, dtype, bandwidth)
+        _HYBRID_EXECUTORS[key] = executor
+    return executor
+
+
+@functools.lru_cache(maxsize=4096)
+def _hybrid_prefill_leg(backend: "HybridBackend", model: ModelConfig,
+                        batch_size: int, input_len: int) -> float:
+    from repro.offload.engine import gpu_prefill_leg
+    from repro.offload.policy import hybrid_streamed_weight_bytes
+    from repro.offload.transfer import transfer_model_for
+
+    executor = _hybrid_gpu_executor(backend.gpu, backend.dtype)
+    transfer = transfer_model_for(backend.gpu, backend.calibration)
+    streamed = hybrid_streamed_weight_bytes(
+        backend.weight_bytes(model), backend.gpu, backend.calibration)
+    time_s, _, _ = gpu_prefill_leg(
+        executor, transfer, backend.calibration, model, batch_size,
+        input_len, backend.dtype, streamed, kv_to_host=True)
+    return time_s
+
+
+@dataclasses.dataclass(frozen=True, eq=False)
+class HybridBackend(ExecutionBackend):
+    """CPU–GPU hybrid execution: GPU prefill, CPU decode (Section VI, opt. 2).
+
+    Prefill — compute-bound, where the GPU wins — runs on *gpu*: the
+    dense prefill graph priced on a GPU executor, non-resident weights
+    streamed over PCIe (the offload policy's residency budget), and the
+    freshly produced prompt K/V always handed off to host memory, since
+    decode runs on the CPU against host-resident KV. The whole GPU leg
+    is charged through :meth:`prefill_comm_s` as comm-as-wall-time
+    (the backend's prefill op graph is empty), priced by the same
+    :func:`repro.offload.engine.gpu_prefill_leg` the offload engine
+    uses — so the transfer model and overlap behaviour match
+    ``repro.offload`` by construction.
+
+    Decode — bandwidth-bound, where the CPU's HBM competes — delegates
+    entirely to the *inner* backend (plain, quantized, or NUMA-placed),
+    so hybrid composes under ``TensorParallelBackend`` and over
+    ``QuantizedBackend``/``NumaBackend`` like any other wrapper.
+    """
+
+    # calibration is an OffloadCalibration; ``None`` resolves to the
+    # default lazily (repro.offload imports this module's executor
+    # consumers, so the import cannot be at module scope).
+    gpu: Platform
+    calibration: Optional["OffloadCalibration"] = None
+    inner: Optional[ExecutionBackend] = None
+    dtype: DType = DType.BF16
+
+    def __post_init__(self) -> None:
+        if not self.gpu.is_gpu:
+            raise ValueError(
+                f"HybridBackend needs a GPU prefill platform, got "
+                f"{self.gpu.name}")
+        if self.calibration is None:
+            from repro.offload.policy import DEFAULT_OFFLOAD_CALIBRATION
+
+            object.__setattr__(self, "calibration",
+                               DEFAULT_OFFLOAD_CALIBRATION)
+
+    def _resolved_inner(self) -> ExecutionBackend:
+        return self.inner if self.inner is not None \
+            else BaselineBackend(self.dtype)
+
+    # -- prefill: the GPU leg, charged as wall time -------------------------
+
+    def _build_prefill_ops(self, model: ModelConfig, batch_size: int,
+                           input_len: int) -> Tuple[Op, ...]:
+        return ()
+
+    def prefill_comm_s(self, model: ModelConfig, batch_size: int,
+                       input_len: int) -> float:
+        return _hybrid_prefill_leg(self, model, batch_size, input_len)
+
+    # -- decode: delegates to the CPU-side inner backend --------------------
+
+    def decode_ops(self, model: ModelConfig, batch_size: int,
+                   kv_len: int) -> Tuple[Op, ...]:
+        return self._resolved_inner().decode_ops(model, batch_size, kv_len)
+
+    def decode_comm_s(self, model: ModelConfig, batch_size: int) -> float:
+        return self._resolved_inner().decode_comm_s(model, batch_size)
+
+    @property
+    def compute_dtype(self) -> DType:
+        return self._resolved_inner().compute_dtype
+
+    @property
+    def adjusts(self) -> bool:  # type: ignore[override]
+        return self._resolved_inner().adjusts
+
+    def adjust_timing(self, timing):
+        return self._resolved_inner().adjust_timing(timing)
+
+    def weight_bytes(self, model: ModelConfig) -> float:
+        return self._resolved_inner().weight_bytes(model)
+
+    def footprint_bytes(self, model: ModelConfig, request) -> float:
+        # CPU-side working set: the host holds the full weights (source
+        # of the PCIe stream), the KV cache, and decode activations.
+        return self._resolved_inner().footprint_bytes(model, request)
+
+    @property
+    def capacity_scale(self) -> float:
+        return self._resolved_inner().capacity_scale
+
+    def tier_bandwidth(self, platform: Platform,
+                       footprint_bytes: float) -> Optional[float]:
+        return self._resolved_inner().tier_bandwidth(platform,
+                                                     footprint_bytes)
+
+    def memory_capacity_bytes(self, platform: Platform) -> Optional[float]:
+        return self._resolved_inner().memory_capacity_bytes(platform)
+
+    @property
+    def signature(self) -> tuple:
+        return ("hybrid", self.gpu.name, self.calibration, self.dtype,
+                self._resolved_inner().signature)
+
+    @property
+    def label(self) -> str:
+        gpu_tag = self.gpu.name.split("-")[0].lower()
+        return f"{self._resolved_inner().label}-hyb.{gpu_tag}"
+
+    # Platform carries an (unhashable) memory-tier list, so the
+    # dataclass-generated __eq__/__hash__ would fail; identity lives in
+    # the signature, which already names the GPU.
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, HybridBackend)
+                and self.signature == other.signature)
+
+    def __hash__(self) -> int:
+        return hash(self.signature)
+
+
 #: Spec tokens understood by :func:`parse_backend`, for CLI help text.
 BACKEND_SPEC_TOKENS = ("bf16", "fp16", "fp32", "int8", "w8", "int4", "w4",
-                       "w8a8", "tpN")
+                       "w8a8", "numa:CONFIG[,aware][,hot=F]", "hybrid:GPU",
+                       "tpN")
+
+#: Exact-match vocabulary for did-you-mean suggestions: every literal
+#: base token plus the wrapper prefixes and representative examples.
+_KNOWN_TOKENS = ("bf16", "fp16", "fp32", "int8", "w8", "int4", "w4",
+                 "w8a8", "tp2", "tp4", "numa:quad_flat", "numa:snc_flat",
+                 "numa:quad_cache", "numa:snc_cache", "hybrid:a100",
+                 "hybrid:h100")
+
+
+def _spec_error(token: str, spec: str, detail: str = "") -> ValueError:
+    """Unknown-token error with a did-you-mean suggestion."""
+    hint = ""
+    matches = difflib.get_close_matches(token, _KNOWN_TOKENS, n=2,
+                                        cutoff=0.5)
+    if matches:
+        hint = f" (did you mean {' or '.join(repr(m) for m in matches)}?)"
+    if detail:
+        detail = f": {detail}"
+    return ValueError(
+        f"unknown backend token {token!r} in spec {spec!r}{detail}{hint}; "
+        f"valid tokens: {', '.join(BACKEND_SPEC_TOKENS)}")
+
+
+def _parse_numa_token(token: str, spec: str) -> "NumaBackend":
+    """``numa:<config>[,aware][,hot=<fraction>]`` (wrapper, inner set later)."""
+    body = token[len("numa:"):]
+    parts = [p for p in body.split(",") if p]
+    if not parts:
+        raise ValueError(
+            f"backend token {token!r} in spec {spec!r} names no NUMA "
+            f"config; expected numa:<config> with config one of "
+            f"quad_flat, quad_cache, snc_flat, snc_cache, hbm_only_quad")
+    try:
+        numa = get_config(parts[0])
+    except KeyError as error:
+        raise _spec_error(token, spec, str(error.args[0])) from error
+    aware = False
+    hot: Optional[float] = None
+    for option in parts[1:]:
+        if option == "aware":
+            aware = True
+        elif option.startswith("hot="):
+            value = option[len("hot="):]
+            try:
+                hot = float(value)
+            except ValueError:
+                raise ValueError(
+                    f"malformed option {option!r} in backend token "
+                    f"{token!r}: hot= expects a fraction in [0, 1], got "
+                    f"{value!r}") from None
+            if not 0 <= hot <= 1:
+                raise ValueError(
+                    f"malformed option {option!r} in backend token "
+                    f"{token!r}: hot= expects a fraction in [0, 1]")
+        else:
+            raise ValueError(
+                f"unknown option {option!r} in backend token {token!r} "
+                f"(spec {spec!r}); valid options: aware, hot=<fraction>")
+    return NumaBackend(numa=numa, numa_aware=aware, hot_fraction=hot)
+
+
+def _parse_hybrid_token(token: str, spec: str) -> "HybridBackend":
+    """``hybrid:<gpu>`` (wrapper; GPU resolved via the platform registry)."""
+    from repro.hardware.registry import get_platform
+
+    body = token[len("hybrid:"):]
+    parts = [p for p in body.split(",") if p]
+    if not parts:
+        raise ValueError(
+            f"backend token {token!r} in spec {spec!r} names no GPU; "
+            f"expected hybrid:<gpu> (e.g. hybrid:a100)")
+    if len(parts) > 1:
+        raise ValueError(
+            f"unknown option {parts[1]!r} in backend token {token!r} "
+            f"(spec {spec!r}); hybrid takes only the GPU name")
+    try:
+        gpu = get_platform(parts[0])
+    except KeyError as error:
+        raise _spec_error(token, spec, str(error.args[0])) from error
+    if not gpu.is_gpu:
+        raise ValueError(
+            f"backend token {token!r} in spec {spec!r}: {parts[0]!r} is "
+            f"a CPU; hybrid needs a GPU prefill platform (a100, h100)")
+    return HybridBackend(gpu=gpu)
 
 
 def parse_backend(spec: str,
                   interconnect: Optional[Interconnect] = None
                   ) -> ExecutionBackend:
-    """Parse a CLI backend spec like ``bf16``, ``int8``, or ``int8-tp2``.
+    """Parse a CLI backend spec like ``int8-tp2`` or ``hybrid:a100``.
 
     Tokens (joined with ``-`` or ``+``): a base — ``bf16`` / ``fp16`` /
     ``fp32`` (plain dense at that dtype), ``int8``/``w8`` (weight-only
     INT8), ``int4``/``w4`` (weight-only INT4), ``w8a8`` (full INT8) —
-    and optionally ``tpN`` for tensor parallelism of degree N wrapped
-    around it. ``tp2`` alone means BF16 + TP2.
+    plus optional wrappers: ``numa:<config>[,aware][,hot=<fraction>]``
+    (NUMA placement: paper config labels like ``snc_flat``, NUMA-aware
+    allocation, hot/cold HBM-DDR traffic placement),
+    ``hybrid:<gpu>`` (GPU prefill + CPU decode, e.g. ``hybrid:a100``),
+    and ``tpN`` for tensor parallelism of degree N. Composition order
+    is fixed regardless of token order: quantization innermost, then
+    NUMA, then hybrid, then TP — e.g. ``int8-numa:snc_flat,aware-tp2``.
+    ``tp2`` alone means BF16 + TP2.
+
+    Unknown tokens raise with a did-you-mean suggestion naming the
+    valid vocabulary; malformed ``key=value`` options raise naming the
+    offending token.
     """
     tokens = [t for t in spec.lower().replace("+", "-").split("-") if t]
     if not tokens:
         raise ValueError("empty backend spec")
     base: Optional[ExecutionBackend] = None
+    numa: Optional[NumaBackend] = None
+    hybrid: Optional[HybridBackend] = None
     tp_degree: Optional[int] = None
     for token in tokens:
         if token.startswith("tp") and token[2:].isdigit():
             if tp_degree is not None:
                 raise ValueError(f"duplicate tp token in {spec!r}")
             tp_degree = int(token[2:])
+            continue
+        if token.startswith("numa:"):
+            if numa is not None:
+                raise ValueError(f"duplicate numa token in {spec!r}")
+            numa = _parse_numa_token(token, spec)
+            continue
+        if token.startswith("hybrid:"):
+            if hybrid is not None:
+                raise ValueError(f"duplicate hybrid token in {spec!r}")
+            hybrid = _parse_hybrid_token(token, spec)
             continue
         if base is not None:
             raise ValueError(f"more than one base backend in {spec!r}")
@@ -605,13 +1015,16 @@ def parse_backend(spec: str,
         elif token == "w8a8":
             base = QuantizedBackend(QuantConfig(scheme=QuantScheme.FULL_INT8))
         else:
-            raise ValueError(
-                f"unknown backend token {token!r} in {spec!r}; expected "
-                f"one of {', '.join(BACKEND_SPEC_TOKENS)}")
-    if base is None:
-        base = BaselineBackend(DType.BF16)
+            raise _spec_error(token, spec)
+    backend: Optional[ExecutionBackend] = base
+    if numa is not None:
+        backend = dataclasses.replace(numa, inner=backend)
+    if hybrid is not None:
+        backend = dataclasses.replace(hybrid, inner=backend)
+    if backend is None:
+        backend = BaselineBackend(DType.BF16)
     if tp_degree is not None:
         return TensorParallelBackend(tp=TPConfig(degree=tp_degree),
                                      interconnect=interconnect or upi_link(),
-                                     inner=base)
-    return base
+                                     inner=backend)
+    return backend

@@ -108,7 +108,19 @@ class InferenceSimulator:
     # -- capacity ----------------------------------------------------------
 
     def memory_capacity(self) -> float:
-        """Usable memory bytes under the current configuration."""
+        """Usable memory bytes under the current configuration.
+
+        A backend carrying its own memory-system placement
+        (:class:`~repro.engine.backend.NumaBackend`, possibly wrapped)
+        overrides the engine-config derivation; socket-spanning still
+        multiplies on top, exactly as for the engine-config path.
+        """
+        if self.backend is not None:
+            override = self.backend.memory_capacity_bytes(self.platform)
+            if override is not None:
+                if self.platform.is_cpu and self._scaling.spans_sockets:
+                    override *= 2
+                return override
         if self.platform.is_cpu:
             capacity = self._numa_model.capacity_bytes
             if self._scaling.spans_sockets:
@@ -131,7 +143,20 @@ class InferenceSimulator:
     # -- bandwidth / compute derivation -------------------------------------
 
     def effective_bandwidth(self, footprint_bytes: float) -> float:
-        """Sustained kernel bandwidth for this configuration, bytes/s."""
+        """Sustained kernel bandwidth for this configuration, bytes/s.
+
+        A backend with its own NUMA placement overrides the
+        engine-config NUMA model; the core-scaling bandwidth factor
+        still applies on top (CPUs), so backend-driven and
+        engine-config-driven derivations stay term-for-term identical.
+        """
+        if self.backend is not None:
+            override = self.backend.tier_bandwidth(self.platform,
+                                                   footprint_bytes)
+            if override is not None:
+                if self.platform.is_cpu:
+                    return override * self._scaling.bandwidth_factor
+                return override
         if self.platform.is_cpu:
             numa_bw = self._numa_model.effective_bandwidth(footprint_bytes)
             return numa_bw * self._scaling.bandwidth_factor

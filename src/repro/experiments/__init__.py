@@ -11,6 +11,7 @@ from repro.experiments import (  # noqa: F401
     ext_cluster,
     ext_disagg_tenancy,
     ext_fairness,
+    ext_fleetmix,
     ext_future,
     ext_kernels_cache,
     ext_memory_decode,

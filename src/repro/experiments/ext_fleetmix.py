@@ -1,0 +1,164 @@
+"""Extension: what CPU/GPU/hybrid fleet mix minimizes $/Mtok at a class SLO?
+
+The paper characterizes single-node CPU inference and its two Section VI
+optimizations; this experiment asks the provisioning question those
+results feed: given a node budget and a mixed class workload, what *mix*
+of node kinds should a deployment buy? Three kinds compete for four
+slots, all serving LLaMA2-13B:
+
+* **spr** — one SPR socket (quad-flat BF16), the paper's tuned CPU node;
+* **a100** — an A100-40GB, fast at both phases but 1.5x the CPU's price;
+* **hybrid** — an SPR *plus* an A100 in one slot
+  (:class:`~repro.engine.backend.HybridBackend`: GPU prefill with PCIe
+  weight streaming and KV handoff, CPU decode), priced at the sum of
+  both devices.
+
+:func:`~repro.optim.advisor.fleet_mix_candidates` enumerates all 15
+compositions of 4 slots over the 3 kinds;
+:func:`~repro.optim.advisor.recommend_fleet` scores every mix with the
+analytic fluid solver (the hybrid kind's GPU leg enters through the cost
+table's prefill comm term), ranks feasible mixes by $/Mtok, and
+*confirms* the winner with the exact fast-forward simulator. Two
+operating points show the answer is load-dependent — and, at high load,
+that the exact-confirmation loop earns its keep by rejecting a fluid
+favorite whose queueing margin doesn't survive burstiness.
+"""
+
+from repro.analysis.cost import list_price
+from repro.cluster import ReplicaSpec
+from repro.core.report import ExperimentReport
+from repro.engine.backend import HybridBackend
+from repro.experiments.base import register
+from repro.hardware.registry import get_platform
+from repro.models.registry import get_model
+from repro.optim.advisor import fleet_mix_candidates, recommend_fleet
+
+SEED = 11
+REQUESTS = 600
+TOTAL_NODES = 4
+MODEL = "llama2-13b"
+MIX = (("simple", 0.5), ("standard", 0.35), ("reasoning", 0.15))
+#: Moderate load (CPU fleets keep up) and high load (prefill demand
+#: pushes the frontier onto GPUs).
+RATES = (2.5, 6.0)
+HEADERS = ["rate/s", "mix", "fleet $", "fluid $/Mtok", "fluid att",
+           "exact att", "verdict"]
+
+
+def node_kinds():
+    """The ``(label, one-replica ReplicaSpec)`` kinds the search mixes."""
+    spr = get_platform("spr")
+    a100 = get_platform("a100")
+    model = get_model(MODEL)
+    return [
+        ("spr", ReplicaSpec(spr, model, count=1, max_batch=8)),
+        ("a100", ReplicaSpec(a100, model, count=1, max_batch=8)),
+        ("hybrid", ReplicaSpec(
+            spr, model, count=1, max_batch=8,
+            backend=HybridBackend(gpu=a100),
+            price_usd=list_price(spr.name) + list_price(a100.name))),
+    ]
+
+
+def recommend(rate_per_s: float):
+    """One fluid-ranked, exact-confirmed mix search at *rate_per_s*."""
+    candidates = fleet_mix_candidates(node_kinds(), TOTAL_NODES)
+    return recommend_fleet(candidates, rate_per_s=rate_per_s, mix=MIX,
+                           confirm_requests=REQUESTS, seed=SEED)
+
+
+def _fleet_price(config) -> float:
+    total = 0.0
+    for spec in config.replicas:
+        price = spec.price_usd if spec.price_usd is not None \
+            else list_price(spec.platform.name)
+        total += price * spec.count
+    return total
+
+
+def _rows_for(rate: float, recommendation) -> list:
+    confirmed = {c.label: c for c in recommendation.confirmations}
+    rows = []
+    shown = [a for a in recommendation.ranked
+             if a.feasible or a.label in confirmed][:4]
+    for assessment in shown:
+        record = confirmed.get(assessment.label)
+        if recommendation.best is not None \
+                and assessment.label == recommendation.best.label:
+            verdict = "winner (confirmed)"
+        elif record is not None and not record.accepted:
+            verdict = "rejected by exact sim"
+        else:
+            verdict = "feasible" if assessment.feasible else "infeasible"
+        rows.append([
+            f"{rate:g}", assessment.label,
+            f"{_fleet_price(assessment.config):,.0f}",
+            f"{assessment.fluid.dollars_per_mtok:.2f}",
+            f"{assessment.fluid.attainment:.3f}",
+            f"{record.attainment:.3f}" if record else "-",
+            verdict,
+        ])
+    return rows
+
+
+@register("ext_fleetmix")
+def run() -> ExperimentReport:
+    """Search CPU/GPU/hybrid mixes for the cheapest SLO-feasible fleet."""
+    rows = []
+    notes = []
+    winners = {}
+    for rate in RATES:
+        recommendation = recommend(rate)
+        rows.extend(_rows_for(rate, recommendation))
+        winners[rate] = recommendation
+
+    low, high = (winners[r] for r in RATES)
+    low_c, high_c = low.confirmation, high.confirmation
+    notes.append(
+        f"Mixed class workload ({REQUESTS} requests, mix simple:0.50 "
+        "standard:0.35 reasoning:0.15, per-class SLOs), all 15 "
+        f"compositions of {TOTAL_NODES} slots over spr / a100 / hybrid "
+        "nodes scored by the fluid solver and the winner confirmed by "
+        "the exact fast-forward simulator.")
+    notes.append(
+        f"The cheapest feasible mix is load-dependent: at {RATES[0]:g}/s "
+        f"the all-CPU fleet wins ({low.best.label} at "
+        f"{low_c.dollars_per_mtok:.2f} $/Mtok confirmed, attainment "
+        f"{low_c.attainment:.3f}); at {RATES[1]:g}/s prefill demand "
+        f"pushes the frontier onto GPUs ({high.best.label} at "
+        f"{high_c.dollars_per_mtok:.2f} $/Mtok confirmed).")
+    rejected = [c for c in high.confirmations if not c.accepted]
+    if rejected:
+        miss = rejected[0]
+        notes.append(
+            "The confirmation loop caught a fluid false-positive at "
+            f"{RATES[1]:g}/s: {miss.label} cleared the steady-state "
+            f"solver but measured only {miss.attainment:.3f} attainment "
+            "under Poisson burstiness, so the next-cheapest mix shipped "
+            "instead — the successive-refinement contract.")
+    hybrid_best = next((a for a in high.ranked
+                        if a.feasible and "hybrid" in a.label), None)
+    if hybrid_best is not None:
+        notes.append(
+            "Hybrid nodes price at CPU+GPU "
+            f"(${list_price('SPR-Max-9468') + list_price('A100-40GB'):,.0f}) "
+            "and rank feasible but behind dedicated nodes here "
+            f"(best hybrid mix {hybrid_best.label} at "
+            f"{hybrid_best.fluid.dollars_per_mtok:.2f} $/Mtok): a 13B "
+            "model fits the A100, so a pure GPU slot dominates. Hybrid "
+            "slots win when GPU capacity binds — models over GPU memory "
+            "where the GPU contributes prefill only.")
+    notes.append(
+        "The hybrid kind's GPU prefill leg (PCIe weight streaming + KV "
+        "handoff) enters the fluid solver through the decode-cost "
+        "table's prefill comm term; exact and fast-forward cluster "
+        "paths price it identically (parity pinned in "
+        "tests/test_backend_numa_hybrid.py).")
+    return ExperimentReport(
+        experiment_id="ext_fleetmix",
+        title="Extension: CPU/GPU/hybrid fleet-mix search at a class SLO "
+              "(fluid-ranked, exact-confirmed)",
+        headers=HEADERS,
+        rows=rows,
+        notes=notes,
+    )

@@ -72,6 +72,26 @@ class NumaCalibration:
 DEFAULT_NUMA_CALIBRATION = NumaCalibration()
 
 
+def hot_cold_effective_bandwidth(hot_traffic_fraction: float,
+                                 local_bw: float,
+                                 remote_bw: float) -> float:
+    """Effective bandwidth when hot traffic is pinned to fast memory.
+
+    *hot_traffic_fraction* of all accesses go to data placed in the fast
+    tier (HBM / local DDR); the rest reach the slow tier (remote DDR).
+    Time per byte blends harmonically — concentrating *traffic* (not
+    bytes) on the fast tier is what Section VI's hot/cold placement
+    buys.
+    """
+    if not 0 <= hot_traffic_fraction <= 1:
+        raise ValueError("hot_traffic_fraction must be in [0, 1]")
+    require_positive(local_bw, "local_bw")
+    require_positive(remote_bw, "remote_bw")
+    time_per_byte = (hot_traffic_fraction / local_bw
+                     + (1.0 - hot_traffic_fraction) / remote_bw)
+    return 1.0 / time_per_byte
+
+
 class NumaModel:
     """Evaluates one (platform, NumaConfig) pair.
 
@@ -150,6 +170,24 @@ class NumaModel:
         hit_bw = hbm_bw * (1.0 - self.calibration.cache_mode_overhead)
         time_per_byte = hit / hit_bw + (1.0 - hit) / ddr_bw
         return 1.0 / time_per_byte
+
+    def hot_cold_bandwidth(self, hot_traffic_fraction: float) -> float:
+        """Sustained bandwidth under hot/cold weight placement.
+
+        Section VI's second optimization: hot data (activations, KV,
+        frequently-streamed weights) pinned to the HBM tier serves
+        *hot_traffic_fraction* of accesses at HBM bandwidth; cold data
+        spills to DDR. On a DDR-only platform the tiers coincide and
+        this degenerates to the flat bandwidth. Clustering penalties and
+        stream efficiency apply exactly as in
+        :meth:`effective_bandwidth`, so the result plugs into the same
+        roofline memory leg.
+        """
+        hbm, ddr = self._tier_split()
+        raw = hot_cold_effective_bandwidth(hot_traffic_fraction,
+                                           hbm[1], ddr[1])
+        raw *= self._clustering_factor()
+        return raw * self.platform.stream_efficiency
 
     def _clustering_factor(self) -> float:
         if self.config.clustering_mode is ClusteringMode.QUADRANT:

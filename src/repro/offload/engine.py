@@ -8,7 +8,12 @@ execution-time breakdown of Fig. 18 (compute vs. data loading).
 """
 
 import dataclasses
-from typing import Dict, List
+from typing import Dict, List, Tuple
+
+try:  # Vectorizes the closed-form decode path; loop fallback below.
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the toolchain
+    _np = None
 
 from repro.engine.executor import OperatorExecutor
 from repro.engine.request import InferenceRequest
@@ -26,6 +31,33 @@ from repro.offload.transfer import TransferModel, transfer_model_for
 from repro.offload.zigzag import amortized_transfer_time, exposed_transfer_time
 
 _ATTENTION_KINDS = (OpKind.ATTN_QK, OpKind.ATTN_PV, OpKind.SOFTMAX)
+
+
+def gpu_prefill_leg(executor: OperatorExecutor, transfer: TransferModel,
+                    calibration: OffloadCalibration, model: ModelConfig,
+                    batch_size: int, input_len: int, dtype,
+                    streamed_weight_bytes: float,
+                    kv_to_host: bool) -> Tuple[float, float, float]:
+    """Price one GPU prefill pass with streamed weights.
+
+    The shared prefill leg of offloaded *and* hybrid execution: GPU
+    compute over the dense prefill graph, non-resident weights streamed
+    over PCIe once (overlapped with compute), and — when *kv_to_host*
+    is set — the freshly produced prompt K/V moved to host memory.
+    Returns ``(critical_path_s, transfer_s, compute_s)``; both
+    :meth:`OffloadSimulator.run` and
+    :meth:`repro.engine.backend.HybridBackend.prefill_comm_s` delegate
+    here, so the two paths price the leg identically by construction.
+    """
+    ops = prefill_ops(model, batch_size, input_len, dtype)
+    compute = sum(t.time_s for t in executor.time_ops(ops))
+    xfer = transfer.time(streamed_weight_bytes,
+                         layer_transfers=model.n_layers)
+    if kv_to_host:
+        kv_written = sum(op.kv_write_bytes for op in ops)
+        xfer += transfer.time(kv_written, model.n_layers)
+    time_s = compute + exposed_transfer_time(xfer, compute, calibration)
+    return time_s, xfer, compute
 
 
 @dataclasses.dataclass(frozen=True)
@@ -151,32 +183,61 @@ class OffloadSimulator:
         return float(2 * model.n_layers * request.batch_size
                      * model.d_model * nb)
 
-    def run(self, model: ModelConfig,
-            request: InferenceRequest) -> OffloadResult:
-        """Simulate the full offloaded request."""
+    def run(self, model: ModelConfig, request: InferenceRequest,
+            exact: bool = False) -> OffloadResult:
+        """Simulate the full offloaded request.
+
+        By default the decode phase is priced in closed form: the GPU
+        compute series comes from the probe-verified
+        :meth:`~repro.engine.executor.OperatorExecutor.time_decode_series`
+        analysis and the host-attention byte curve is affine in the KV
+        length (verified against the op graph at the endpoints, with a
+        per-step fallback if the affine assumption ever breaks).
+        ``exact=True`` keeps the original per-step loop; the two agree
+        to ≤1e-9 relative (pinned by ``tests/test_backend_numa_hybrid.py``).
+        """
         placement = make_placement(model, request, self.gpu, self.calibration)
         executor = self._gpu_executor(request)
         layers = model.n_layers
 
         # --- prefill: stream non-resident weights once, overlap with compute.
-        p_ops = prefill_ops(model, request.batch_size, request.input_len,
-                            request.dtype)
-        p_attention, p_other = self._split_ops(p_ops)
-        prefill_compute = sum(t.time_s for t in executor.time_ops(p_ops))
-        prefill_transfer = self.transfer.time(
-            placement.streamed_weight_bytes, layer_transfers=layers)
-        if not placement.kv_on_gpu:
-            # Freshly produced prompt K/V moves to host memory.
-            kv_written = sum(op.kv_write_bytes for op in p_ops)
-            prefill_transfer += self.transfer.time(kv_written, layers)
-        prefill_time = prefill_compute + exposed_transfer_time(
-            prefill_transfer, prefill_compute, self.calibration)
+        prefill_time, prefill_transfer, prefill_compute = gpu_prefill_leg(
+            executor, self.transfer, self.calibration, model,
+            request.batch_size, request.input_len, request.dtype,
+            placement.streamed_weight_bytes,
+            kv_to_host=not placement.kv_on_gpu)
 
         loading_total = prefill_transfer
         compute_total = prefill_compute
 
         # --- decode: stream weights every step, amortized by zig-zag reuse.
+        if exact or request.decode_steps == 0:
+            decode_time, decode_loading, decode_compute = \
+                self._decode_stepped(model, request, placement, executor)
+        else:
+            decode_time, decode_loading, decode_compute = \
+                self._decode_closed_form(model, request, placement, executor)
+        loading_total += decode_loading
+        compute_total += decode_compute
+
+        return OffloadResult(
+            model_name=model.name,
+            platform_name=self.gpu.name,
+            request=request,
+            placement=placement,
+            prefill_time_s=prefill_time,
+            decode_time_s=decode_time,
+            loading_time_s=loading_total,
+            compute_time_s=compute_total,
+        )
+
+    def _decode_stepped(self, model: ModelConfig, request: InferenceRequest,
+                        placement: Placement, executor: OperatorExecutor):
+        """The original per-step decode loop (``exact=True`` reference)."""
+        layers = model.n_layers
         decode_time = 0.0
+        loading_total = 0.0
+        compute_total = 0.0
         for step in range(request.decode_steps):
             kv_len = request.input_len + step
             ops = decode_step_ops(model, request.batch_size, kv_len,
@@ -201,14 +262,83 @@ class OffloadSimulator:
                 step_transfer, compute, self.calibration)
             loading_total += step_transfer
             compute_total += compute
+        return decode_time, loading_total, compute_total
 
-        return OffloadResult(
-            model_name=model.name,
-            platform_name=self.gpu.name,
-            request=request,
-            placement=placement,
-            prefill_time_s=prefill_time,
-            decode_time_s=decode_time,
-            loading_time_s=loading_total,
-            compute_time_s=compute_total,
-        )
+    def _decode_closed_form(self, model: ModelConfig,
+                            request: InferenceRequest,
+                            placement: Placement,
+                            executor: OperatorExecutor):
+        """Whole-phase decode pricing without the per-step loop.
+
+        Per-step PCIe transfer is KV-independent (the streamed weight
+        block and, host case, the activation hops are fixed), so only
+        the compute series varies with the KV length:
+
+        * ``kv_on_gpu`` — every op runs on the GPU; the per-step series
+          is exactly what ``time_decode_series`` prices in closed form;
+        * KV on host — the non-attention GPU time is KV-independent
+          (priced once) and the host-attention bytes are affine in kv
+          (slope/intercept fitted from the first two steps and verified
+          at the last; any mismatch falls back to the step loop).
+
+        The exposed-transfer max() then vectorizes over the series.
+        """
+        steps = request.decode_steps
+        batch = request.batch_size
+        layers = model.n_layers
+        kv_start = request.input_len
+        step_transfer_raw = self.transfer.time(
+            placement.streamed_weight_bytes, layer_transfers=layers)
+
+        if placement.kv_on_gpu:
+            ts, _, _ = executor.time_decode_series(model, batch, kv_start,
+                                                   kv_start + steps)
+            compute = _np.asarray(ts) if _np is not None else ts
+        else:
+            ops = decode_step_ops(model, batch, kv_start, request.dtype)
+            attention, other = self._split_ops(ops)
+            other_time = sum(t.time_s for t in executor.time_ops(other))
+
+            def attn_bytes(kv_len: int) -> float:
+                step_ops = decode_step_ops(model, batch, kv_len,
+                                           request.dtype)
+                return sum(op.memory_bytes for op in step_ops
+                           if op.kind in _ATTENTION_KINDS)
+
+            b0 = sum(op.memory_bytes for op in attention)
+            if steps > 1:
+                slope = attn_bytes(kv_start + 1) - b0
+                predicted_last = b0 + slope * (steps - 1)
+                actual_last = attn_bytes(kv_start + steps - 1)
+                if abs(predicted_last - actual_last) > \
+                        1e-9 * max(actual_last, 1.0):
+                    # Affine assumption broke (a model whose attention
+                    # byte curve has breakpoints): price honestly.
+                    return self._decode_stepped(model, request, placement,
+                                                executor)
+            else:
+                slope = 0.0
+            host_bw = self.calibration.host_attention_bw
+            if _np is not None:
+                host = (b0 + slope * _np.arange(steps)) / host_bw
+                compute = other_time + host
+            else:
+                compute = [other_time + (b0 + slope * i) / host_bw
+                           for i in range(steps)]
+            step_transfer_raw += self.transfer.time(
+                self._activation_hop_bytes(model, request),
+                layer_transfers=2 * layers)
+
+        step_transfer = amortized_transfer_time(step_transfer_raw, batch,
+                                                self.calibration)
+        eta = self.calibration.overlap_efficiency
+        if _np is not None:
+            compute = _np.asarray(compute)
+            exposed = _np.maximum(0.0, step_transfer - eta * compute)
+            decode_time = float((compute + exposed).sum())
+            compute_total = float(compute.sum())
+        else:  # pragma: no cover - numpy ships with the toolchain
+            exposed = [max(0.0, step_transfer - eta * c) for c in compute]
+            decode_time = sum(c + e for c, e in zip(compute, exposed))
+            compute_total = sum(compute)
+        return decode_time, steps * step_transfer, compute_total

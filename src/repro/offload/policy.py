@@ -116,6 +116,25 @@ def needs_offloading(model: ModelConfig, request: InferenceRequest,
     return footprint > gpu.memory_capacity * calibration.gpu_fit_headroom
 
 
+def hybrid_streamed_weight_bytes(
+        weight_bytes_total: float, gpu: Platform,
+        calibration: OffloadCalibration = DEFAULT_OFFLOAD_CALIBRATION
+) -> float:
+    """Weight bytes a hybrid prefill must stream over PCIe per pass.
+
+    The CPU–GPU hybrid backend keeps a resident fraction of the weights
+    pinned in GPU memory across requests (the same residency budget the
+    offload policy uses) and streams the remainder each prefill. Unlike
+    :func:`make_placement` there is no KV deduction: the KV cache never
+    stays on the GPU — decode runs on the CPU, so prompt K/V is handed
+    off to host memory every pass.
+    """
+    if not gpu.is_gpu:
+        raise ValueError(f"{gpu.name} is not a GPU")
+    budget = gpu.memory_capacity * calibration.weight_residency_fraction
+    return max(0.0, weight_bytes_total - budget)
+
+
 def make_placement(model: ModelConfig, request: InferenceRequest,
                    gpu: Platform,
                    calibration: OffloadCalibration = DEFAULT_OFFLOAD_CALIBRATION) -> Placement:

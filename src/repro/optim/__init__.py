@@ -8,7 +8,13 @@ from repro.optim.disaggregation import (
 from repro.optim.advisor import (
     Candidate,
     DeploymentAdvisor,
+    FleetAssessment,
+    FleetConfirmation,
+    FleetRecommendation,
     Recommendation,
+    fleet_mix_candidates,
+    measure_fleet,
+    recommend_fleet,
 )
 from repro.optim.hybrid import HybridPlan, HybridPlanner, candidate_fractions
 from repro.optim.numa_aware import (
@@ -25,9 +31,15 @@ __all__ = [
     "DisaggregatedPlanner",
     "tune_batch_size",
     "DeploymentAdvisor",
+    "FleetAssessment",
+    "FleetConfirmation",
+    "FleetRecommendation",
     "HybridPlan",
     "Recommendation",
     "HybridPlanner",
+    "fleet_mix_candidates",
+    "measure_fleet",
+    "recommend_fleet",
     "NumaAwareOutcome",
     "candidate_fractions",
     "evaluate_numa_aware_snc",

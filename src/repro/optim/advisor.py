@@ -20,7 +20,7 @@ from repro.numa.modes import EVALUATED_CONFIGS
 from repro.parallel.tensor_parallel import TensorParallelSimulator, TPConfig
 from repro.quant.engine import QuantizedInferenceSimulator
 from repro.quant.weightonly import QuantConfig
-from repro.utils.validation import require_in
+from repro.utils.validation import require_in, require_positive
 
 #: Metrics the advisor can optimize; latencies minimize, throughput maximizes.
 PRIORITY_METRICS = ("ttft_s", "tpot_s", "e2e_s", "e2e_throughput")
@@ -219,6 +219,55 @@ def measure_fleet(config, rate_per_s, mix=None, spec=None, slo=None,
         goodput = report.goodput(arrivals, bar)
     return (attainment, goodput, report.throughput,
             report.dollars_per_million_tokens(amortization_years))
+
+
+def fleet_mix_candidates(node_kinds: Sequence[Tuple[str, "ReplicaSpec"]],
+                         total_nodes: int, *,
+                         require_all: bool = False
+                         ) -> List[Tuple[str, "ClusterConfig"]]:
+    """Enumerate every fleet *mix* filling a fixed node budget.
+
+    The mix search space for :func:`recommend_fleet`: given the node
+    kinds a deployment could buy — e.g. a CPU replica, a GPU replica,
+    and a CPU+GPU hybrid replica — emit one candidate fleet per way of
+    composing *total_nodes* slots from those kinds (stars and bars:
+    ``C(total+k-1, k-1)`` candidates for *k* kinds). Labels read like
+    ``"2xspr+1xa100+1xhybrid"`` so ranked output stays legible.
+
+    Args:
+        node_kinds: ``(kind_label, ReplicaSpec)`` pairs. Each spec is a
+            one-replica template; its ``count`` is replaced per mix (a
+            hybrid kind should carry ``price_usd`` covering *both*
+            devices it occupies).
+        total_nodes: Slots every candidate fleet must fill exactly.
+        require_all: Only emit mixes using every kind at least once
+            (drops the homogeneous corners).
+    """
+    from repro.cluster.config import ClusterConfig
+
+    require_positive(total_nodes, "total_nodes")
+    kinds = list(node_kinds)
+    if not kinds:
+        raise ValueError("fleet_mix_candidates needs at least one node kind")
+
+    def compositions(total: int, bins: int):
+        if bins == 1:
+            yield (total,)
+            return
+        for first in range(total + 1):
+            for rest in compositions(total - first, bins - 1):
+                yield (first,) + rest
+
+    candidates: List[Tuple[str, ClusterConfig]] = []
+    for counts in compositions(total_nodes, len(kinds)):
+        if require_all and not all(counts):
+            continue
+        specs = [dataclasses.replace(spec, count=count)
+                 for (_, spec), count in zip(kinds, counts) if count]
+        label = "+".join(f"{count}x{kind}"
+                         for (kind, _), count in zip(kinds, counts) if count)
+        candidates.append((label, ClusterConfig(specs)))
+    return candidates
 
 
 def recommend_fleet(candidates: Sequence[Union[Tuple[str, "ClusterConfig"],

@@ -18,14 +18,16 @@ Two effects are quantified:
 
 import dataclasses
 
-from repro.engine.inference import EngineConfig
+from repro.engine.backend import NumaBackend
+from repro.engine.inference import InferenceSimulator
 from repro.engine.request import InferenceRequest
 from repro.engine.results import InferenceResult
-from repro.engine.inference import InferenceSimulator
 from repro.hardware.platform import Platform
 from repro.models.config import ModelConfig
+# Re-exported for backward compatibility: the blend now lives next to
+# the NUMA bandwidth model it parameterizes.
+from repro.numa.model import hot_cold_effective_bandwidth  # noqa: F401
 from repro.numa.modes import SNC_FLAT
-from repro.utils.validation import require_positive
 
 
 @dataclasses.dataclass(frozen=True)
@@ -54,29 +56,22 @@ class NumaAwareOutcome:
 def evaluate_numa_aware_snc(platform: Platform, model: ModelConfig,
                             request: InferenceRequest = InferenceRequest(),
                             ) -> NumaAwareOutcome:
-    """Compare SNC-flat with naive vs NUMA-aware allocation."""
-    baseline = InferenceSimulator(
-        platform, EngineConfig(numa=SNC_FLAT, numa_aware=False)).run(model, request)
-    optimized = InferenceSimulator(
-        platform, EngineConfig(numa=SNC_FLAT, numa_aware=True)).run(model, request)
-    return NumaAwareOutcome(baseline=baseline, optimized=optimized)
+    """Compare SNC-flat with naive vs NUMA-aware allocation.
 
-
-def hot_cold_effective_bandwidth(hot_traffic_fraction: float,
-                                 local_bw: float,
-                                 remote_bw: float) -> float:
-    """Effective bandwidth when hot traffic is pinned to local memory.
-
-    *hot_traffic_fraction* of all accesses go to data placed locally; the
-    rest reach the remote socket. Time per byte blends harmonically.
+    Thin adapter over the backend layer: both legs run through
+    :class:`~repro.engine.backend.NumaBackend`, which reproduces the
+    historical ``EngineConfig(numa=..., numa_aware=...)`` derivation
+    bit-for-bit (parity pinned by ``tests/test_backend_numa_hybrid.py``).
     """
-    if not 0 <= hot_traffic_fraction <= 1:
-        raise ValueError("hot_traffic_fraction must be in [0, 1]")
-    require_positive(local_bw, "local_bw")
-    require_positive(remote_bw, "remote_bw")
-    time_per_byte = (hot_traffic_fraction / local_bw
-                     + (1.0 - hot_traffic_fraction) / remote_bw)
-    return 1.0 / time_per_byte
+    baseline = InferenceSimulator(
+        platform, backend=NumaBackend(numa=SNC_FLAT, numa_aware=False,
+                                      dtype=request.dtype)
+    ).run(model, request)
+    optimized = InferenceSimulator(
+        platform, backend=NumaBackend(numa=SNC_FLAT, numa_aware=True,
+                                      dtype=request.dtype)
+    ).run(model, request)
+    return NumaAwareOutcome(baseline=baseline, optimized=optimized)
 
 
 def hot_cold_speedup(hot_traffic_fraction_naive: float,

@@ -25,7 +25,7 @@ EXPECTED_IDS = {
     "ext_pp_vs_tp", "ext_slo", "ext_disagg", "ext_tenancy",
     "ext_longcontext", "ablation_fused_attention", "ext_prefix_cache",
     "ext_quant_matrix", "ext_moe", "ext_batch_knee", "whatif_future_cpu", "ext_provisioning", "ext_cluster", "ext_trace", "ext_backends",
-    "ext_fairness", "ext_tiering",
+    "ext_fairness", "ext_tiering", "ext_fleetmix",
     "calibration", "sensitivity", "advisor",
 }
 

@@ -831,6 +831,112 @@ def bench_fluid(quick: bool, repeat: int) -> dict:
     }
 
 
+# Fleet-mix suite: the ext_fleetmix fleet shape — CPU, GPU, and hybrid
+# replicas mixed in one fleet — at a load the mix comfortably sustains.
+FLEETMIX_RATE_PER_S = 2.5
+FLEETMIX_MIX = (("simple", 0.5), ("standard", 0.35), ("reasoning", 0.15))
+
+
+def _fleetmix_config():
+    from repro.analysis.cost import list_price
+    from repro.cluster import ClusterConfig, ReplicaSpec
+    from repro.engine.backend import HybridBackend
+
+    spr, a100 = get_platform("spr"), get_platform("a100")
+    model = get_model("llama2-13b")
+    return ClusterConfig([
+        ReplicaSpec(spr, model, count=2, max_batch=CLUSTER_MAX_BATCH),
+        ReplicaSpec(a100, model, count=1, max_batch=CLUSTER_MAX_BATCH),
+        ReplicaSpec(spr, model, count=1, max_batch=CLUSTER_MAX_BATCH,
+                    backend=HybridBackend(gpu=a100),
+                    price_usd=(list_price(spr.name)
+                               + list_price(a100.name))),
+    ])
+
+
+def _fleetmix_run(count: int, exact: bool):
+    """One cold mixed CPU/GPU/hybrid run; returns (wall s, report)."""
+    from repro.cluster import ClusterSimulator, TieredRouter
+    from repro.workloads import ClassMixStream
+
+    clear_caches()
+    stream = ClassMixStream(rate_per_s=FLEETMIX_RATE_PER_S, count=count,
+                            mix=FLEETMIX_MIX, seed=CLUSTER_SEED)
+    simulator = ClusterSimulator(_fleetmix_config().build_fleet(),
+                                 TieredRouter(stream.classifier()),
+                                 exact=exact)
+    begin = time.perf_counter()
+    report = simulator.run(stream.full())
+    return time.perf_counter() - begin, report
+
+
+def bench_fleetmix(quick: bool, repeat: int) -> dict:
+    """Mixed CPU/GPU/hybrid fleet: fast-path parity and fluid envelope.
+
+    Two legs over the identical classified stream on the ext_fleetmix
+    fleet shape (2x SPR + 1x A100 + 1x SPR+A100 hybrid, all serving
+    LLaMA2-13B): event-horizon fast-forward vs per-iteration stepping
+    (``exact=True``), extending the cluster suite's 1e-9 parity
+    contract to fleets whose replicas price prefill on a GPU executor
+    with PCIe streaming (the hybrid backend's comm term). A third leg
+    checks the fluid steady-state solver against the fast simulator on
+    the same mixed fleet — the envelope ``recommend_fleet`` relies on
+    when ranking CPU/GPU/hybrid mixes.
+    """
+    from repro.cluster import fluid
+    from repro.optim.advisor import measure_fleet
+
+    count = 600 if quick else 5_000
+    best = {}
+    reports = {}
+    for _ in range(repeat):
+        for exact in (False, True):
+            key = "exact" if exact else "fast"
+            elapsed, report = _fleetmix_run(count, exact)
+            if key not in best or elapsed < best[key]:
+                best[key], reports[key] = elapsed, report
+
+    clear_caches()
+    scenario = fluid.FluidScenario(config=_fleetmix_config(),
+                                   rate_per_s=FLEETMIX_RATE_PER_S,
+                                   label="2xspr+1xa100+1xhybrid")
+    begin = time.perf_counter()
+    fluid_report = fluid.solve_grid([scenario], mix=FLEETMIX_MIX)[0]
+    fluid_s = time.perf_counter() - begin
+    attainment, goodput, throughput, dollars = measure_fleet(
+        _fleetmix_config(), FLEETMIX_RATE_PER_S, mix=FLEETMIX_MIX,
+        count=count, seed=CLUSTER_SEED)
+
+    def rel_err(fluid_value, sim_value):
+        return abs(fluid_value - sim_value) / max(abs(sim_value), 1e-300)
+
+    return {
+        "requests": count,
+        "rate_per_s": FLEETMIX_RATE_PER_S,
+        "max_batch": CLUSTER_MAX_BATCH,
+        "fleet": "2xspr+1xa100+1xhybrid(spr+a100)",
+        "fast_s": best["fast"],
+        "exact_s": best["exact"],
+        "speedup": best["exact"] / best["fast"],
+        "requests_per_s": count / best["fast"],
+        "max_rel_err": _cluster_rel_err(reports["exact"], reports["fast"]),
+        "counters_match": (reports["fast"].router_counters
+                           == reports["exact"].router_counters),
+        "fleet_usd": reports["fast"].fleet_price_usd,
+        "fluid_s": fluid_s,
+        "fluid_envelope": {
+            "throughput": rel_err(fluid_report.throughput_tokens_per_s,
+                                  throughput),
+            "goodput": rel_err(fluid_report.goodput_tokens_per_s, goodput),
+            "dollars_per_mtok": rel_err(fluid_report.dollars_per_mtok,
+                                        dollars),
+        },
+        "fluid_attainment": fluid_report.attainment,
+        "sim_attainment": attainment,
+        "fluid_regime": fluid_report.regime,
+    }
+
+
 def _environment() -> dict:
     """Host facts that contextualize wall-clock numbers across PRs."""
     import subprocess
@@ -926,11 +1032,25 @@ def _print_fluid(fluid: dict) -> None:
           f"overload flagged: {fluid['overload_flag_agrees']}")
 
 
+def _print_fleetmix(fleetmix: dict) -> None:
+    envelope = fleetmix["fluid_envelope"]
+    print(f"fleetmix ({fleetmix['requests']:,} requests, "
+          f"{fleetmix['fleet']}): "
+          f"exact {fleetmix['exact_s']:.1f}s, "
+          f"fast {fleetmix['fast_s']:.2f}s "
+          f"({fleetmix['speedup']:.1f}x, "
+          f"{fleetmix['requests_per_s']:,.0f} req/s), "
+          f"max rel err {fleetmix['max_rel_err']:.2e}; "
+          f"fluid {fleetmix['fluid_s'] * 1e3:.0f}ms, envelope: "
+          f"throughput {envelope['throughput']:.1%}, "
+          f"$/Mtok {envelope['dollars_per_mtok']:.1%}")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--suite",
                         choices=("sweep", "cluster", "fairness", "tiering",
-                                 "fluid"),
+                                 "fluid", "fleetmix"),
                         default="sweep",
                         help="benchmark suite to run (default: sweep)")
     parser.add_argument("--json", default=None,
@@ -944,12 +1064,12 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.json:
         destination = args.json
-    elif args.suite in ("fairness", "tiering", "fluid"):
+    elif args.suite in ("fairness", "tiering", "fluid", "fleetmix"):
         destination = "BENCH_cluster.json"
     else:
         destination = f"BENCH_{args.suite}.json"
 
-    if args.suite in ("fairness", "tiering", "fluid"):
+    if args.suite in ("fairness", "tiering", "fluid", "fleetmix"):
         # Merge into the cluster report rather than replacing it: the
         # fairness/tiering/fluid figures extend the same
         # simulation-throughput record. Merged suites carry their own
@@ -964,6 +1084,9 @@ def main(argv=None) -> int:
         elif args.suite == "tiering":
             report["tiering"] = bench_tiering(args.quick,
                                               min(args.repeat, 3))
+        elif args.suite == "fleetmix":
+            report["fleetmix"] = bench_fleetmix(args.quick,
+                                                min(args.repeat, 3))
         else:
             report["fluid"] = bench_fluid(args.quick, min(args.repeat, 3))
         report[args.suite]["environment"] = _environment()
@@ -998,6 +1121,8 @@ def main(argv=None) -> int:
         _print_tiering(report["tiering"])
     elif args.suite == "fluid":
         _print_fluid(report["fluid"])
+    elif args.suite == "fleetmix":
+        _print_fleetmix(report["fleetmix"])
     elif args.suite == "cluster":
         _print_cluster(report["cluster"])
         _print_cluster_mixed(report["cluster_mixed"])
